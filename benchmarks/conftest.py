@@ -1,0 +1,53 @@
+"""Benchmark fixtures: one full-scale world per session.
+
+The world scale is configurable so CI can run smaller:
+
+    REPRO_BENCH_LINKS=26000 pytest benchmarks/ --benchmark-only
+
+Defaults to 12,000 wiki links (~5,000 permanently dead links in the
+sample), which reproduces every shape at about a third of the paper's
+scale in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.study import Study
+from repro.dataset.collector import Collector
+from repro.dataset.sampler import sample_iabot_marked
+from repro.dataset.worldgen import WorldConfig, generate_world
+
+BENCH_LINKS = int(os.environ.get("REPRO_BENCH_LINKS", "12000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "11"))
+#: The paper samples 10,000; we sample proportionally to world size.
+BENCH_SAMPLE = int(os.environ.get("REPRO_BENCH_SAMPLE", "10000"))
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The benchmark universe (built once per session)."""
+    config = WorldConfig(
+        n_links=BENCH_LINKS, target_sample=BENCH_SAMPLE, seed=BENCH_SEED
+    )
+    return generate_world(config)
+
+
+@pytest.fixture(scope="session")
+def report(world):
+    """The full study over the benchmark universe."""
+    return Study.from_world(world).run()
+
+
+@pytest.fixture(scope="session")
+def random_sample_dataset(world):
+    """The paper's representativeness control: links sampled from the
+    whole category rather than the alphabetical prefix."""
+    collector = Collector(world.encyclopedia, world.site_rankings)
+    collected = collector.collect()  # every category article
+    sampled = sample_iabot_marked(
+        collected, world.config.target_sample, seed=20220901
+    )
+    return collector.to_dataset(sampled, description="random sample")

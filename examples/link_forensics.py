@@ -1,0 +1,96 @@
+"""Per-link forensics: everything the paper's methodology can tell you
+about one URL.
+
+For a handful of links sampled from a generated world's permanently
+dead population, this walks the full diagnostic battery:
+
+- live-web probe with redirect chain (Figure 4 classification);
+- soft-404 screening via the random-sibling probe (§3);
+- archived-copy census split at the marking date (§4.1);
+- redirect validation of any 3xx copies (§4.2);
+- first-capture timing relative to the posting date (§5.1);
+- coverage context and typo suggestion if never archived (§5.2).
+
+Run:  python examples/link_forensics.py [n_links] [how_many]
+"""
+
+import sys
+
+from repro.analysis.copies import census_link
+from repro.analysis.redirects import RedirectValidator
+from repro.analysis.soft404 import Soft404Detector
+from repro.analysis.spatial import spatial_analysis
+from repro.analysis.typos import find_typos
+from repro.dataset.collector import Collector
+from repro.dataset.sampler import sample_iabot_marked
+from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.rng import RngRegistry
+
+
+def investigate(world, record, detector, validator) -> None:
+    print("=" * 72)
+    print(f"URL:     {record.url}")
+    print(
+        f"posted:  {record.posted_at.isoformat()}   "
+        f"marked dead: {record.marked_at.isoformat()} by {record.marked_by}"
+    )
+
+    result = world.fetch(record.url, world.study_time)
+    print(f"today:   {result.describe()}")
+    if result.final_status == 200:
+        verdict = detector.check(record.url, world.study_time)
+        status = "genuinely functional" if verdict.genuinely_alive else "BROKEN"
+        print(f"         soft-404 screen: {status} ({verdict.reason})")
+
+    census = census_link(record, world.cdx)
+    print(
+        f"archive: {len(census.pre_marking)} copies before marking, "
+        f"{len(census.post_marking)} after"
+    )
+    for snapshot in census.pre_marking[:4]:
+        print(f"         {snapshot.describe()}")
+        if snapshot.initial_redirected:
+            verdict = validator.validate(snapshot)
+            judged = "VALID" if verdict.valid else "erroneous"
+            print(f"           redirect judged {judged}: {verdict.reason}")
+    if census.first_snapshot is not None:
+        gap = census.first_snapshot.captured_at.days - record.posted_at.days
+        if gap >= 0:
+            print(f"timing:  first capture {gap:.0f} days after posting")
+        else:
+            print(f"timing:  first capture {-gap:.0f} days BEFORE posting")
+    else:
+        spatial = spatial_analysis([record], world.cdx).records[0]
+        print(
+            "timing:  never archived; "
+            f"{spatial.directory_neighbors} archived URLs in its directory, "
+            f"{spatial.hostname_neighbors} on its host"
+        )
+        typo = find_typos([record], world.cdx)
+        if typo.findings:
+            print(f"typo?    likely — did the editor mean:")
+            print(f"         {typo.findings[0].corrected_url}")
+
+
+def main() -> None:
+    n_links = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    how_many = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    world = generate_world(
+        WorldConfig(n_links=n_links, target_sample=n_links, seed=13)
+    )
+    collector = Collector(world.encyclopedia, world.site_rankings)
+    records = collector.to_dataset(
+        sample_iabot_marked(collector.collect(), how_many, seed=99)
+    ).records
+
+    detector = Soft404Detector(
+        world.fetcher(), RngRegistry(1).stream("forensics")
+    )
+    validator = RedirectValidator(world.cdx)
+    for record in records:
+        investigate(world, record, detector, validator)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Reproduce the WaybackMedic rescue event (§4.1-§4.2 implications).
+
+After the authors reported their findings, the Internet Archive ran
+WaybackMedic over every link IABot had marked permanently dead; its
+patient lookups patched 20,080 of them. This example replays that
+intervention on a generated world, in two passes:
+
+1. patient Availability-API lookups (no timeout) — rescues the links
+   IABot's bounded lookups missed (§4.1);
+2. the same, plus the paper's §4.2 proposal: validated archived
+   redirections as patches.
+
+Run:  python examples/rescue_with_medic.py [n_links]
+"""
+
+import sys
+
+from repro.analysis.redirects import RedirectValidator
+from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.iabot.medic import WaybackMedic
+from repro.reporting.tables import render_table
+from repro.wiki.encyclopedia import PERMADEAD_CATEGORY
+
+
+def main() -> None:
+    n_links = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    print(f"Generating a universe of {n_links} wiki links ...")
+    world = generate_world(
+        WorldConfig(n_links=n_links, target_sample=n_links, seed=7)
+    )
+    before = len(world.encyclopedia.articles_in_category(PERMADEAD_CATEGORY))
+    print(f"  articles with permanently dead links before the medic: {before}")
+
+    validator = RedirectValidator(world.cdx)
+    medic = WaybackMedic(
+        world.encyclopedia,
+        world.availability,
+        redirect_finder=lambda url, marked_at: validator.find_valid_redirect_copy(
+            url, before=None
+        ),
+    )
+    report = medic.run(world.study_time)
+
+    after = len(world.encyclopedia.articles_in_category(PERMADEAD_CATEGORY))
+    print()
+    print(
+        render_table(
+            headers=["quantity", "count"],
+            rows=[
+                ["permanently dead references examined", report.links_examined],
+                ["patched with a missed 200 copy (§4.1)", report.patched_with_200_copy],
+                ["patched with a validated redirect (§4.2)", report.patched_with_validated_redirect],
+                ["still permanently dead", report.still_permadead],
+                ["category size before", before],
+                ["category size after", after],
+            ],
+            title="WaybackMedic run",
+        )
+    )
+    rescued = report.patched_total
+    print()
+    print(
+        f"The medic rescued {rescued} of {report.links_examined} "
+        f"({100.0 * rescued / max(report.links_examined, 1):.1f}%) — the paper "
+        "estimates ~11% recoverable via patient lookups plus ~5% via "
+        "validated redirections."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Calibration harness: measured vs paper, one row per headline number.
+
+Usage: python scripts/calibrate.py [n_links] [seed]
+"""
+
+import sys
+import time
+
+from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.analysis.study import Study
+from repro.net.status import Outcome
+
+n_links = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+
+t0 = time.time()
+cfg = WorldConfig(n_links=n_links, target_sample=n_links, seed=seed)
+world = generate_world(cfg)
+t1 = time.time()
+report = Study.from_world(world).run()
+t2 = time.time()
+
+n = report.sample_size
+c = report.counts
+rest = max(report.n_rest, 1)
+never = max(report.n_never_archived, 1)
+gapn = max(len(report.temporal.gap_population), 1)
+restcopy = max(report.n_rest_with_any_copy, 1)
+
+rows = [
+    ("sample size", n, "10000 (17k marked; sampled)"),
+    ("fig4 DNS failure %", 100 * c[Outcome.DNS_FAILURE] / n, 28),
+    ("fig4 timeout %", 100 * c[Outcome.TIMEOUT] / n, 6),
+    ("fig4 404 %", 100 * c[Outcome.HTTP_404] / n, 44),
+    ("fig4 200 %", 100 * c[Outcome.HTTP_200] / n, 16.5),
+    ("fig4 other %", 100 * c[Outcome.OTHER] / n, 5.5),
+    ("s3 alive %", 100 * report.frac_genuinely_alive, 3.05),
+    ("s3 alive-redirect %", 100 * report.frac_alive_via_redirect, 79),
+    ("s3 postmark-err %", 100 * report.frac_first_post_marking_erroneous, 95),
+    ("s4 pre-200 %", 100 * report.frac_pre_marking_200, 10.8),
+    ("s4 3xx of rest %", 100 * report.n_rest_with_pre_3xx / rest, 42.3),
+    ("s4 valid-redirect % of sample", 100 * report.frac_patchable_via_redirect, 4.8),
+    ("s5 never-archived % of rest", 100 * report.n_never_archived / rest, 22.2),
+    ("s5 pre-posting % of archived", 100 * len(report.temporal.with_pre_posting_copy) / restcopy, 8.9),
+    ("s5 same-day % of gap-pop", 100 * len(report.temporal.same_day) / gapn, 6.9),
+    ("s5 same-day-err % of same-day", 100 * len(report.temporal.same_day_erroneous) / max(len(report.temporal.same_day), 1), 61),
+    ("s5 dir-gap % of never", 100 * len(report.spatial.directory_gaps) / never, 37.8),
+    ("s5 host-gap % of never", 100 * len(report.spatial.hostname_gaps) / never, 12.9),
+    ("s5 typo % of never", 100 * len(report.typos) / never, 11.0),
+]
+print(f"gen {t1-t0:.0f}s study {t2-t1:.0f}s  | {world.summary()}")
+print(f"{'metric':38s} {'measured':>9s} {'paper':>9s}")
+for name, measured, target in rows:
+    try:
+        print(f"{name:38s} {measured:9.1f} {float(target):9.1f}")
+    except (TypeError, ValueError):
+        print(f"{name:38s} {measured!s:>9s} {target!s:>9s}")
+
+import math
+gaps = sorted(report.temporal.gaps_days)
+if gaps:
+    def q(p):
+        return gaps[min(int(p * len(gaps)), len(gaps) - 1)]
+    print(f"fig5 gap days: p10={q(.1):.0f} p25={q(.25):.0f} p50={q(.5):.0f} p75={q(.75):.0f} p90={q(.9):.0f}")

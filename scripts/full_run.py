@@ -1,0 +1,106 @@
+"""Full-scale study run: every figure and headline number, printed.
+
+Used to produce the paper-vs-measured record in EXPERIMENTS.md.
+
+Usage: python scripts/full_run.py [n_links] [seed]
+"""
+
+import sys
+import time
+
+from repro.analysis.study import Study
+from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.net.status import Outcome
+from repro.reporting.cdf import ecdf
+from repro.reporting.figures import render_bar_chart, render_cdf
+from repro.reporting.summary import ComparisonTable
+
+n_links = int(sys.argv[1]) if len(sys.argv) > 1 else 26_000
+seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+
+t0 = time.time()
+world = generate_world(WorldConfig(n_links=n_links, target_sample=10_000, seed=seed))
+t1 = time.time()
+report = Study.from_world(world).run()
+t2 = time.time()
+
+n = report.sample_size
+print(f"# world: {world.summary()}")
+print(f"# generation {t1 - t0:.0f}s, study {t2 - t1:.0f}s")
+print()
+print(report.summary())
+print()
+
+ds = report.dataset
+print(f"dataset: {len(ds.domains())} domains, {len(ds.hostnames())} hostnames "
+      "(paper: 3,521 / 3,940)")
+print()
+
+domain_curve = ecdf(list(ds.domains().values()))
+print(render_cdf({"our dataset": domain_curve},
+                 "Figure 3(a): URLs per domain", "urls/domain", log_x=True))
+print()
+rank_curve = ecdf(ds.rankings())
+print(render_cdf({"our dataset": rank_curve},
+                 "Figure 3(b): site ranking", "rank"))
+print()
+year_curve = ecdf(ds.posting_years())
+print(render_cdf({"our dataset": year_curve},
+                 "Figure 3(c): posting year", "year"))
+print()
+print(render_bar_chart({o.value: c for o, c in report.counts.items()},
+                       f"Figure 4: live-web outcomes (n={n})"))
+print()
+gaps = ecdf([max(g, 0.5) for g in report.temporal.gaps_days])
+print(render_cdf({"gap": gaps}, "Figure 5: posting-to-first-capture gap (days)",
+                 "days", log_x=True))
+print()
+spatial = report.spatial
+print(render_cdf(
+    {
+        "directory": ecdf([max(c, 0.5) for c in spatial.directory_counts]),
+        "hostname": ecdf([max(c, 0.5) for c in spatial.hostname_counts]),
+    },
+    "Figure 6: archived neighbors of never-archived links",
+    "neighbors",
+    log_x=True,
+))
+print()
+
+table = ComparisonTable(title="Headline numbers, paper vs measured")
+counts = report.counts
+rest = max(report.n_rest, 1)
+never = max(report.n_never_archived, 1)
+gap_pop = max(len(report.temporal.gap_population), 1)
+archived = max(report.n_rest_with_any_copy, 1)
+rows = [
+    ("fig4 DNS failure %", 28.0, 100 * counts[Outcome.DNS_FAILURE] / n),
+    ("fig4 timeout %", 6.0, 100 * counts[Outcome.TIMEOUT] / n),
+    ("fig4 404 %", 44.0, 100 * counts[Outcome.HTTP_404] / n),
+    ("fig4 200 %", 16.5, 100 * counts[Outcome.HTTP_200] / n),
+    ("fig4 other %", 5.5, 100 * counts[Outcome.OTHER] / n),
+    ("s3 genuinely alive %", 3.05, 100 * report.frac_genuinely_alive),
+    ("s3 alive-via-redirect %", 79.0, 100 * report.frac_alive_via_redirect),
+    ("s3 first post-marking copy erroneous %", 95.0,
+     100 * report.frac_first_post_marking_erroneous),
+    ("s4.1 pre-marking 200 copies %", 10.8, 100 * report.frac_pre_marking_200),
+    ("s4.2 3xx copies, % of rest", 42.3, 100 * report.n_rest_with_pre_3xx / rest),
+    ("s4.2 validated redirects, % of sample", 4.8,
+     100 * report.frac_patchable_via_redirect),
+    ("s5 never archived, % of rest", 22.2, 100 * report.n_never_archived / rest),
+    ("s5 pre-posting copies, % of archived", 8.9,
+     100 * len(report.temporal.with_pre_posting_copy) / archived),
+    ("s5 same-day captures, % of gap pop", 6.9,
+     100 * len(report.temporal.same_day) / gap_pop),
+    ("s5 same-day erroneous first-up %", 61.0,
+     100 * len(report.temporal.same_day_erroneous)
+     / max(len(report.temporal.same_day), 1)),
+    ("s5.2 directory gaps, % of never-archived", 37.8,
+     100 * len(spatial.directory_gaps) / never),
+    ("s5.2 hostname gaps, % of never-archived", 12.9,
+     100 * len(spatial.hostname_gaps) / never),
+    ("s5.2 typos, % of never-archived", 11.0, 100 * len(report.typos) / never),
+]
+for name, paper, measured in rows:
+    table.add(name, paper=paper, measured=measured, tolerance=0.6)
+print(table.render())

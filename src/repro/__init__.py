@@ -1,0 +1,26 @@
+"""repro — reproduction of "Characterizing 'Permanently Dead' Links on
+Wikipedia" (Nyayachavadi, Zhu, Madhyastha; ACM IMC 2022).
+
+The package builds, from scratch, every system the measurement study
+depends on — a simulated live web, a Wayback-Machine-style archive
+with Availability and CDX APIs, a Wikipedia with wikitext articles and
+edit histories, and a behavioural port of InternetArchiveBot — and
+then runs the paper's actual analysis pipeline against them.
+
+Quickstart::
+
+    from repro.dataset.worldgen import WorldConfig, generate_world
+    from repro.analysis.study import Study
+
+    world = generate_world(WorldConfig(n_links=3000, seed=2022))
+    report = Study.from_world(world).run()
+    print(report.summary())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and experiment index, and EXPERIMENTS.md for recorded
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

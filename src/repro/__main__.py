@@ -1,0 +1,141 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+    python -m repro study [--links N] [--seed S]      run the full study
+    python -m repro calibrate [--links N] [--seed S]  paper-vs-measured table
+    python -m repro medic [--links N] [--seed S]      WaybackMedic rescue run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analysis.redirects import RedirectValidator
+from .analysis.study import Study
+from .dataset.worldgen import WorldConfig, generate_world
+from .iabot.medic import WaybackMedic
+from .net.status import Outcome
+from .reporting.figures import render_bar_chart
+from .reporting.summary import ComparisonTable
+from .wiki.encyclopedia import PERMADEAD_CATEGORY
+
+
+def _build_world(args) -> "tuple":
+    print(f"generating world: {args.links} links, seed {args.seed} ...")
+    start = time.time()
+    world = generate_world(
+        WorldConfig(n_links=args.links, target_sample=args.links, seed=args.seed)
+    )
+    print(f"  {world.summary()}  ({time.time() - start:.1f}s)")
+    return world
+
+
+def _cmd_study(args) -> int:
+    world = _build_world(args)
+    report = Study.from_world(world).run()
+    if args.markdown:
+        from .reporting.report import render_markdown_report
+
+        document = render_markdown_report(
+            report,
+            title=(
+                f"Study report (links={args.links}, seed={args.seed})"
+            ),
+        )
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.markdown}")
+        return 0
+    print()
+    print(
+        render_bar_chart(
+            {o.value: c for o, c in report.counts.items()},
+            title="Figure 4: live-web outcomes",
+        )
+    )
+    print()
+    print(report.summary())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    world = _build_world(args)
+    report = Study.from_world(world).run()
+    n = report.sample_size
+    counts = report.counts
+    table = ComparisonTable(title="paper vs measured")
+    table.add("fig4 DNS %", 28.0, 100 * counts[Outcome.DNS_FAILURE] / n)
+    table.add("fig4 404 %", 44.0, 100 * counts[Outcome.HTTP_404] / n)
+    table.add("fig4 200 %", 16.5, 100 * counts[Outcome.HTTP_200] / n)
+    table.add("alive %", 3.05, 100 * report.frac_genuinely_alive, tolerance=0.8)
+    table.add("pre-marking 200 %", 10.8, 100 * report.frac_pre_marking_200)
+    table.add(
+        "3xx of rest %",
+        42.3,
+        100 * report.n_rest_with_pre_3xx / max(report.n_rest, 1),
+    )
+    table.add(
+        "never archived of rest %",
+        22.2,
+        100 * report.n_never_archived / max(report.n_rest, 1),
+    )
+    print()
+    print(table.render())
+    return 0 if table.all_within_band else 1
+
+
+def _cmd_medic(args) -> int:
+    world = _build_world(args)
+    validator = RedirectValidator(world.cdx)
+    medic = WaybackMedic(
+        world.encyclopedia,
+        world.availability,
+        redirect_finder=lambda url, marked: validator.find_valid_redirect_copy(url),
+    )
+    before = len(world.encyclopedia.articles_in_category(PERMADEAD_CATEGORY))
+    report = medic.run(world.study_time)
+    after = len(world.encyclopedia.articles_in_category(PERMADEAD_CATEGORY))
+    print(
+        f"examined {report.links_examined} permanently dead references; "
+        f"patched {report.patched_with_200_copy} with missed 200 copies and "
+        f"{report.patched_with_validated_redirect} with validated redirects; "
+        f"{report.still_permadead} remain. category: {before} -> {after} articles"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Characterizing Permanently Dead Links on "
+            "Wikipedia' (IMC 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (
+        ("study", _cmd_study),
+        ("calibrate", _cmd_calibrate),
+        ("medic", _cmd_medic),
+    ):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--links", type=int, default=3000)
+        cmd.add_argument("--seed", type=int, default=2022)
+        if name == "study":
+            cmd.add_argument(
+                "--markdown",
+                metavar="PATH",
+                default=None,
+                help="write the full study as a Markdown report",
+            )
+        cmd.set_defaults(handler=handler)
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

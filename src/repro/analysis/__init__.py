@@ -1,0 +1,51 @@
+"""The paper's analysis pipeline (§3-§5).
+
+Each module implements one section's methodology; ``study`` wires them
+into the end-to-end :class:`~repro.analysis.study.Study` that produces
+every number and figure series in the evaluation:
+
+- :mod:`~repro.analysis.live_status` — §3/Figure 4 live-web probes;
+- :mod:`~repro.analysis.soft404` — §3 soft-404 detection (random-leaf
+  sibling probe + k-shingling);
+- :mod:`~repro.analysis.copies` — §4.1 pre-/post-marking copy census;
+- :mod:`~repro.analysis.archived_soft404` — erroneousness of archived
+  copies (status plus boilerplate-sketch evidence);
+- :mod:`~repro.analysis.redirects` — §4.2 archived-redirect validation;
+- :mod:`~repro.analysis.temporal` — §5.1/Figure 5 first-capture gaps;
+- :mod:`~repro.analysis.spatial` — §5.2/Figure 6 coverage gaps;
+- :mod:`~repro.analysis.typos` — §5.2 edit-distance typo detection;
+- :mod:`~repro.analysis.representativeness` — §2.4's dataset-vs-random
+  sample check;
+- :mod:`~repro.analysis.query_variants` — §5.2 implication (b),
+  reordered-query recovery (extension);
+- :mod:`~repro.analysis.lifetimes` — link survival estimation
+  (extension).
+"""
+
+from .lifetimes import kaplan_meier, median_survival, survival_at
+from .live_status import LiveProbe, classify_links, outcome_counts
+from .query_variants import find_reordered_variants
+from .redirects import RedirectValidator, RedirectVerdict
+from .representativeness import RepresentativenessReport, compare_datasets
+from .soft404 import Soft404Detector, Soft404Verdict
+from .study import Study, StudyReport
+from .typos import find_typos
+
+__all__ = [
+    "LiveProbe",
+    "RedirectValidator",
+    "RedirectVerdict",
+    "RepresentativenessReport",
+    "Soft404Detector",
+    "Soft404Verdict",
+    "Study",
+    "StudyReport",
+    "classify_links",
+    "compare_datasets",
+    "find_reordered_variants",
+    "find_typos",
+    "kaplan_meier",
+    "median_survival",
+    "outcome_counts",
+    "survival_at",
+]

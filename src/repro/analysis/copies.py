@@ -1,0 +1,79 @@
+"""Section 4.1: what archived copies existed before a link was marked?
+
+IABot marks a link permanently dead when it finds no archived copy
+whose initial status was 200 — which, because of bounded availability
+lookups, "does not mean that there are no archived copies for that
+link". The census splits each link's snapshot history at its marking
+date and records what was actually there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..archive.cdx import CdxApi, CdxQuery, MatchType
+from ..archive.snapshot import Snapshot
+from ..dataset.records import LinkRecord
+
+
+@dataclass(frozen=True, slots=True)
+class CopyCensus:
+    """One link's archived-copy history, split at its marking date."""
+
+    record: LinkRecord
+    pre_marking: tuple[Snapshot, ...]
+    post_marking: tuple[Snapshot, ...]
+
+    @property
+    def all_snapshots(self) -> tuple[Snapshot, ...]:
+        """Every capture of the link, in time order."""
+        return self.pre_marking + self.post_marking
+
+    @property
+    def has_any_copy(self) -> bool:
+        """Whether the archive ever captured the link at all."""
+        return bool(self.all_snapshots)
+
+    @property
+    def pre_marking_200(self) -> tuple[Snapshot, ...]:
+        """Copies IABot *should* have been able to use (§4.1)."""
+        return tuple(s for s in self.pre_marking if s.initial_ok)
+
+    @property
+    def pre_marking_3xx(self) -> tuple[Snapshot, ...]:
+        """Copies IABot conservatively refused to use (§4.2)."""
+        return tuple(s for s in self.pre_marking if s.initial_redirected)
+
+    @property
+    def has_pre_marking_200(self) -> bool:
+        """Whether a usable (initial-200) copy predates the marking."""
+        return bool(self.pre_marking_200)
+
+    @property
+    def has_pre_marking_3xx(self) -> bool:
+        """Whether a redirect copy predates the marking."""
+        return bool(self.pre_marking_3xx)
+
+    @property
+    def first_snapshot(self) -> Snapshot | None:
+        """The earliest capture ever, or None."""
+        snapshots = self.all_snapshots
+        return snapshots[0] if snapshots else None
+
+    @property
+    def first_post_marking(self) -> Snapshot | None:
+        """The earliest capture at or after the marking, or None."""
+        return self.post_marking[0] if self.post_marking else None
+
+
+def census_link(record: LinkRecord, cdx: CdxApi) -> CopyCensus:
+    """Full snapshot history of one link via exact CDX queries."""
+    rows = cdx.query(CdxQuery(url=record.url, match_type=MatchType.EXACT))
+    pre = tuple(row for row in rows if row.captured_at < record.marked_at)
+    post = tuple(row for row in rows if not row.captured_at < record.marked_at)
+    return CopyCensus(record=record, pre_marking=pre, post_marking=post)
+
+
+def census_links(records: list[LinkRecord], cdx: CdxApi) -> list[CopyCensus]:
+    """Censuses for the whole dataset, in input order."""
+    return [census_link(record, cdx) for record in records]

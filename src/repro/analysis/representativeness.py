@@ -1,0 +1,102 @@
+"""Dataset representativeness (§2.4's September-2022 check).
+
+The paper validated its alphabetical-prefix dataset against a fully
+random sample of the permanently-dead population and found the Figure
+3 and Figure 4 distributions "largely identical". This module makes
+that comparison a first-class, reusable analysis: KS distances over
+each Figure 3 dimension and total-variation distance over the Figure 4
+buckets, with a single verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SimTime
+from ..dataset.records import Dataset
+from ..net.fetch import Fetcher
+from ..net.status import FIGURE4_ORDER
+from ..reporting.cdf import ecdf
+from .live_status import classify_links, outcome_counts
+
+#: Default thresholds for "largely identical".
+KS_THRESHOLD = 0.12
+TV_THRESHOLD = 0.06
+
+
+@dataclass(frozen=True, slots=True)
+class RepresentativenessReport:
+    """Distances between a dataset and its random-sample control."""
+
+    ks_urls_per_domain: float
+    ks_site_ranking: float
+    ks_posting_year: float
+    tv_live_status: float
+    ks_threshold: float = KS_THRESHOLD
+    tv_threshold: float = TV_THRESHOLD
+
+    @property
+    def representative(self) -> bool:
+        """The paper's verdict: every dimension within threshold."""
+        return (
+            self.ks_urls_per_domain <= self.ks_threshold
+            and self.ks_site_ranking <= self.ks_threshold
+            and self.ks_posting_year <= self.ks_threshold
+            and self.tv_live_status <= self.tv_threshold
+        )
+
+    def describe(self) -> str:
+        """One-line distances-plus-verdict summary."""
+        verdict = "representative" if self.representative else "DIVERGENT"
+        return (
+            f"KS(urls/domain)={self.ks_urls_per_domain:.3f} "
+            f"KS(ranking)={self.ks_site_ranking:.3f} "
+            f"KS(posting year)={self.ks_posting_year:.3f} "
+            f"TV(live status)={self.tv_live_status:.3f} -> {verdict}"
+        )
+
+
+def compare_datasets(
+    dataset: Dataset,
+    control: Dataset,
+    fetcher: Fetcher,
+    at: SimTime,
+    ks_threshold: float = KS_THRESHOLD,
+    tv_threshold: float = TV_THRESHOLD,
+) -> RepresentativenessReport:
+    """Figure 3 KS distances plus the Figure 4 total-variation distance.
+
+    The default thresholds suit paper-scale samples (thousands of
+    links); small samples need looser bands (binomial noise in the
+    Figure 4 shares alone is ~1/sqrt(n) per bucket).
+    """
+    ks_domain = ecdf(list(dataset.domains().values())).ks_distance(
+        ecdf(list(control.domains().values()))
+    )
+    ks_rank = ecdf(dataset.rankings()).ks_distance(ecdf(control.rankings()))
+    ks_year = ecdf(dataset.posting_years()).ks_distance(
+        ecdf(control.posting_years())
+    )
+    tv = _live_status_distance(dataset, control, fetcher, at)
+    return RepresentativenessReport(
+        ks_urls_per_domain=ks_domain,
+        ks_site_ranking=ks_rank,
+        ks_posting_year=ks_year,
+        tv_live_status=tv,
+        ks_threshold=ks_threshold,
+        tv_threshold=tv_threshold,
+    )
+
+
+def _live_status_distance(
+    dataset: Dataset, control: Dataset, fetcher: Fetcher, at: SimTime
+) -> float:
+    """Total-variation distance between the Figure 4 bucket shares."""
+    ours = outcome_counts(classify_links(dataset.records, fetcher, at))
+    theirs = outcome_counts(classify_links(control.records, fetcher, at))
+    n_ours = max(sum(ours.values()), 1)
+    n_theirs = max(sum(theirs.values()), 1)
+    return 0.5 * sum(
+        abs(ours[outcome] / n_ours - theirs[outcome] / n_theirs)
+        for outcome in FIGURE4_ORDER
+    )

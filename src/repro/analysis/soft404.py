@@ -1,0 +1,109 @@
+"""Section 3's soft-404 detector.
+
+A 200 response does not prove a link works: parked domains, "not
+found" pages served with status 200, and blanket redirects to a
+homepage all masquerade as success. The paper adapts Bar-Yossef et
+al.'s technique: probe a *deliberately invalid* sibling URL u' (the
+leaf after the last '/' replaced by 25 random characters) and compare.
+
+u is declared broken when either
+
+1. u and u' redirect to the same final URL, and that URL is not a
+   login page (sites legitimately bounce everything to a login wall); or
+2. the k-shingling similarity between the two final response bodies
+   exceeds 99% (identical responses are *not* required — even two
+   fetches of the same page differ slightly).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..clock import SimTime
+from ..net.fetch import Fetcher
+from ..rng import Stream
+from ..textsim.shingles import shingle_similarity
+from ..urls.generate import UrlFactory
+from ..urls.parse import parse_url
+
+SIMILARITY_THRESHOLD = 0.99
+
+_LOGIN_HINTS = re.compile(
+    r"(sign in|log ?in|password|register for|credentials)", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Soft404Verdict:
+    """Outcome of probing one 200-status URL."""
+
+    url: str
+    broken: bool
+    reason: str
+    similarity: float | None = None
+    probe_url: str = ""
+
+    @property
+    def genuinely_alive(self) -> bool:
+        """The URL serves real content (not a soft-404)."""
+        return not self.broken
+
+
+class Soft404Detector:
+    """Random-leaf sibling probing over the live web."""
+
+    def __init__(
+        self,
+        fetcher: Fetcher,
+        rng: Stream,
+        threshold: float = SIMILARITY_THRESHOLD,
+    ) -> None:
+        self._fetcher = fetcher
+        self._factory = UrlFactory(rng)
+        self._threshold = threshold
+
+    def check(self, url: str, at: SimTime) -> Soft404Verdict:
+        """Decide whether a 200-responding ``url`` is actually broken.
+
+        Assumes the caller already observed a 200 final status for
+        ``url`` (the §3 pipeline only runs the detector on those).
+        """
+        result = self._fetcher.fetch(url, at)
+        probe = self._factory.random_leaf_probe(parse_url(url))
+        probe_result = self._fetcher.fetch(probe, at)
+
+        if (
+            result.redirected
+            and probe_result.redirected
+            and result.final_url is not None
+            and result.final_url == probe_result.final_url
+            and not self._looks_like_login(result.body)
+        ):
+            return Soft404Verdict(
+                url=url,
+                broken=True,
+                reason="same redirect target as random sibling",
+                probe_url=str(probe),
+            )
+
+        similarity = shingle_similarity(result.body, probe_result.body)
+        if similarity > self._threshold:
+            return Soft404Verdict(
+                url=url,
+                broken=True,
+                reason=f"response {similarity:.4f} similar to random sibling",
+                similarity=similarity,
+                probe_url=str(probe),
+            )
+        return Soft404Verdict(
+            url=url,
+            broken=False,
+            reason="distinct content from random sibling",
+            similarity=similarity,
+            probe_url=str(probe),
+        )
+
+    @staticmethod
+    def _looks_like_login(body: str) -> bool:
+        return bool(_LOGIN_HINTS.search(body))

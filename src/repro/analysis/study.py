@@ -1,0 +1,258 @@
+"""The end-to-end study: §2.4 collection through §5.2 analysis.
+
+:class:`Study` runs the entire measurement pipeline the paper
+describes, against any world, and produces a :class:`StudyReport`
+carrying every headline number and every figure series. The pipeline
+only touches public interfaces — live-web fetches, the Availability
+and CDX APIs, article wikitext and histories — never the world
+generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.cdx import CdxApi
+from ..clock import SimTime
+from ..dataset.collector import Collector
+from ..dataset.records import Dataset, LinkRecord
+from ..dataset.sampler import sample_iabot_marked
+from ..net.fetch import Fetcher
+from ..net.status import Outcome
+from ..rng import RngRegistry
+from .archived_soft404 import archived_copy_erroneous
+from .copies import CopyCensus, census_links
+from .live_status import LiveProbe, classify_links, outcome_counts
+from .redirects import RedirectValidator
+from .soft404 import Soft404Detector, Soft404Verdict
+from .spatial import SpatialReport, spatial_analysis
+from .temporal import TemporalReport, temporal_analysis
+from .typos import TypoReport, find_typos
+
+#: How many 3xx copies per link to cross-examine before concluding no
+#: valid redirect copy exists (keeps §4.2 cost bounded per link).
+MAX_REDIRECT_COPIES_PER_LINK = 8
+
+
+@dataclass
+class StudyReport:
+    """Everything the paper reports, measured from one world."""
+
+    dataset: Dataset
+    probes: list[LiveProbe]
+    counts: dict[Outcome, int]
+    soft404_verdicts: list[Soft404Verdict]
+    censuses: list[CopyCensus]
+    temporal: TemporalReport
+    spatial: SpatialReport
+    typos: TypoReport
+
+    # §3 -------------------------------------------------------------------
+    n_final_200: int = 0
+    n_genuinely_alive: int = 0
+    n_alive_via_redirect: int = 0
+    n_with_post_marking_copy: int = 0
+    n_first_post_marking_erroneous: int = 0
+
+    # §4 -------------------------------------------------------------------
+    n_pre_marking_200: int = 0
+    n_rest: int = 0
+    n_rest_with_any_copy: int = 0
+    n_never_archived: int = 0
+    n_rest_with_pre_3xx: int = 0
+    n_valid_redirect_copy: int = 0
+
+    @property
+    def sample_size(self) -> int:
+        """Number of permanently dead links studied."""
+        return len(self.dataset)
+
+    # -- §3 convenience fractions -----------------------------------------------
+
+    @property
+    def frac_final_200(self) -> float:
+        """Share of the sample answering 200 today (paper: ~16%)."""
+        return self.n_final_200 / max(self.sample_size, 1)
+
+    @property
+    def frac_genuinely_alive(self) -> float:
+        """The paper's "3% of permanently dead links work today"."""
+        return self.n_genuinely_alive / max(self.sample_size, 1)
+
+    @property
+    def frac_alive_via_redirect(self) -> float:
+        """Of the genuinely alive, how many redirect first (paper: 79%)."""
+        return self.n_alive_via_redirect / max(self.n_genuinely_alive, 1)
+
+    @property
+    def frac_first_post_marking_erroneous(self) -> float:
+        """The paper's 95% single-check-is-enough statistic."""
+        return self.n_first_post_marking_erroneous / max(
+            self.n_with_post_marking_copy, 1
+        )
+
+    # -- §4 convenience fractions ---------------------------------------------------
+
+    @property
+    def frac_pre_marking_200(self) -> float:
+        """The paper's 11% availability-timeout casualties."""
+        return self.n_pre_marking_200 / max(self.sample_size, 1)
+
+    @property
+    def frac_patchable_via_redirect(self) -> float:
+        """The paper's ~5% (481 valid of 3,776, over the whole sample)."""
+        return self.n_valid_redirect_copy / max(self.sample_size, 1)
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest of the whole study."""
+        lines = [
+            f"permanently dead links studied: {self.sample_size}",
+            "live web today (Fig 4): "
+            + ", ".join(
+                f"{outcome.value}={count}"
+                for outcome, count in self.counts.items()
+            ),
+            (
+                f"§3  final-200: {self.n_final_200} "
+                f"({self.frac_final_200:.1%}); genuinely alive: "
+                f"{self.n_genuinely_alive} ({self.frac_genuinely_alive:.1%}), "
+                f"of which {self.frac_alive_via_redirect:.0%} redirect first"
+            ),
+            (
+                f"§3  first post-marking copy erroneous: "
+                f"{self.n_first_post_marking_erroneous}/"
+                f"{self.n_with_post_marking_copy} "
+                f"({self.frac_first_post_marking_erroneous:.0%})"
+            ),
+            (
+                f"§4.1 had initial-200 copies before marking: "
+                f"{self.n_pre_marking_200} ({self.frac_pre_marking_200:.1%})"
+            ),
+            (
+                f"§4.2 of the remaining {self.n_rest}: "
+                f"{self.n_rest_with_pre_3xx} had 3xx copies; "
+                f"{self.n_valid_redirect_copy} validate as non-erroneous "
+                f"({self.frac_patchable_via_redirect:.1%} of sample)"
+            ),
+            (
+                f"§5   copies: {self.n_rest_with_any_copy} archived / "
+                f"{self.n_never_archived} never archived; "
+                f"{len(self.temporal.with_pre_posting_copy)} pre-posting; "
+                f"{len(self.temporal.same_day)} same-day captures, "
+                f"{len(self.temporal.same_day_erroneous)} erroneous first-up"
+            ),
+            (
+                f"§5.2 coverage gaps: {len(self.spatial.directory_gaps)} "
+                f"directory-level, {len(self.spatial.hostname_gaps)} "
+                f"hostname-level; typos found: {len(self.typos)}"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class Study:
+    """A configured study, ready to run."""
+
+    records: list[LinkRecord]
+    fetcher: Fetcher
+    cdx: CdxApi
+    at: SimTime
+    rngs: RngRegistry = field(default_factory=lambda: RngRegistry(20220315))
+
+    @classmethod
+    def from_world(
+        cls,
+        world,
+        sample_size: int | None = None,
+        article_limit: int | None = None,
+        seed: int = 20220315,
+    ) -> "Study":
+        """Collect and sample the dataset from a generated world.
+
+        Mirrors §2.4: crawl the category (optionally only the first
+        ``article_limit`` articles), mine histories, sample
+        ``sample_size`` IABot-marked links.
+        """
+        collector = Collector(world.encyclopedia, world.site_rankings)
+        collected = collector.collect(article_limit=article_limit)
+        k = sample_size if sample_size is not None else world.config.target_sample
+        sampled = sample_iabot_marked(collected, k, seed=seed)
+        dataset = collector.to_dataset(sampled, description="our dataset")
+        return cls(
+            records=dataset.records,
+            fetcher=world.fetcher(),
+            cdx=world.cdx,
+            at=world.study_time,
+            rngs=RngRegistry(seed),
+        )
+
+    def run(self) -> StudyReport:
+        """Execute §3, §4, and §5 and assemble the report."""
+        dataset = Dataset(records=list(self.records), description="our dataset")
+
+        # §3: live status.
+        probes = classify_links(self.records, self.fetcher, self.at)
+        counts = outcome_counts(probes)
+        detector = Soft404Detector(self.fetcher, self.rngs.stream("soft404"))
+        verdicts: list[Soft404Verdict] = []
+        alive_probes: list[LiveProbe] = []
+        for probe in probes:
+            if not probe.returned_200:
+                continue
+            verdict = detector.check(probe.record.url, self.at)
+            verdicts.append(verdict)
+            if verdict.genuinely_alive:
+                alive_probes.append(probe)
+
+        # §4: archived-copy census.
+        censuses = census_links(self.records, self.cdx)
+        pre200 = [c for c in censuses if c.has_pre_marking_200]
+        rest = [c for c in censuses if not c.has_pre_marking_200]
+        rest_with_copy = [c for c in rest if c.has_any_copy]
+        never_archived = [c for c in rest if not c.has_any_copy]
+
+        validator = RedirectValidator(self.cdx)
+        n_valid_redirect = 0
+        rest_with_3xx = [c for c in rest if c.has_pre_marking_3xx]
+        for census in rest_with_3xx:
+            for snapshot in census.pre_marking_3xx[:MAX_REDIRECT_COPIES_PER_LINK]:
+                if validator.validate(snapshot).valid:
+                    n_valid_redirect += 1
+                    break
+
+        # §3's single-check justification (needs the census).
+        with_post = [c for c in censuses if c.first_post_marking is not None]
+        n_post_erroneous = sum(
+            1
+            for c in with_post
+            if archived_copy_erroneous(c.first_post_marking, self.cdx)
+        )
+
+        # §5.1 temporal + §5.2 spatial/typos.
+        temporal = temporal_analysis(rest_with_copy, self.cdx)
+        never_records = [c.record for c in never_archived]
+        spatial = spatial_analysis(never_records, self.cdx)
+        typos = find_typos(never_records, self.cdx)
+
+        return StudyReport(
+            dataset=dataset,
+            probes=probes,
+            counts=counts,
+            soft404_verdicts=verdicts,
+            censuses=censuses,
+            temporal=temporal,
+            spatial=spatial,
+            typos=typos,
+            n_final_200=sum(1 for p in probes if p.returned_200),
+            n_genuinely_alive=len(alive_probes),
+            n_alive_via_redirect=sum(1 for p in alive_probes if p.redirected),
+            n_with_post_marking_copy=len(with_post),
+            n_first_post_marking_erroneous=n_post_erroneous,
+            n_pre_marking_200=len(pre200),
+            n_rest=len(rest),
+            n_rest_with_any_copy=len(rest_with_copy),
+            n_never_archived=len(never_archived),
+            n_rest_with_pre_3xx=len(rest_with_3xx),
+            n_valid_redirect_copy=n_valid_redirect,
+        )

@@ -1,0 +1,109 @@
+"""Section 5.1 / Figure 5: when was the first copy captured?
+
+For links the Wayback Machine did archive (but never successfully),
+the gap between the Wikipedia posting date and the first subsequent
+capture explains *why* no working copy exists: "the Internet Archive
+often captured its first copy of that link only several months or
+years later", by which time the URL had died.
+
+Links whose earliest copy predates the posting are reported separately
+(the paper sets those 619 aside); links captured the same day they
+were posted get an erroneousness check — a broken-on-day-one copy
+means the link never worked (a user typo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..archive.cdx import CdxApi
+from .archived_soft404 import archived_copy_erroneous
+from .copies import CopyCensus
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalRecord:
+    """Timing of one link's first archive capture."""
+
+    census: CopyCensus
+    pre_posting_copy: bool
+    gap_days: float | None            # None when pre_posting_copy
+    same_day: bool
+    first_copy_erroneous: bool | None  # judged only for same-day captures
+
+    @property
+    def url(self) -> str:
+        """The link's URL."""
+        return self.census.record.url
+
+
+@dataclass
+class TemporalReport:
+    """Aggregate §5.1 results."""
+
+    records: list[TemporalRecord] = field(default_factory=list)
+
+    @property
+    def with_pre_posting_copy(self) -> list[TemporalRecord]:
+        """Links archived before they were even posted (the 619)."""
+        return [r for r in self.records if r.pre_posting_copy]
+
+    @property
+    def gap_population(self) -> list[TemporalRecord]:
+        """Figure 5's population: first copy strictly after posting."""
+        return [r for r in self.records if not r.pre_posting_copy]
+
+    @property
+    def gaps_days(self) -> list[float]:
+        """Figure 5's x-values."""
+        return [
+            r.gap_days for r in self.gap_population if r.gap_days is not None
+        ]
+
+    @property
+    def same_day(self) -> list[TemporalRecord]:
+        """Links captured the day they were posted (the 437)."""
+        return [r for r in self.gap_population if r.same_day]
+
+    @property
+    def same_day_erroneous(self) -> list[TemporalRecord]:
+        """Same-day captures that were already broken (the 266 typos)."""
+        return [r for r in self.same_day if r.first_copy_erroneous]
+
+
+def temporal_analysis(
+    censuses: list[CopyCensus], cdx: CdxApi
+) -> TemporalReport:
+    """Run §5.1 over every link that has at least one archived copy."""
+    report = TemporalReport()
+    for census in censuses:
+        first = census.first_snapshot
+        if first is None:
+            continue
+        posted = census.record.posted_at
+        if first.captured_at < posted:
+            report.records.append(
+                TemporalRecord(
+                    census=census,
+                    pre_posting_copy=True,
+                    gap_days=None,
+                    same_day=False,
+                    first_copy_erroneous=None,
+                )
+            )
+            continue
+        gap = max(first.captured_at.days - posted.days, 0.0)
+        same_day = first.captured_at.same_day(posted)
+        erroneous = (
+            archived_copy_erroneous(first, cdx) if same_day else None
+        )
+        report.records.append(
+            TemporalRecord(
+                census=census,
+                pre_posting_copy=False,
+                gap_days=gap,
+                same_day=same_day,
+                first_copy_erroneous=erroneous,
+            )
+        )
+    return report

@@ -1,0 +1,44 @@
+"""A Wayback-Machine-style web archive.
+
+Snapshots of URLs accumulate over time from two crawl processes:
+organic crawling (rate depends on site popularity) and capture requests
+triggered by Wikipedia's link-added event feeds (WNRT 2013-2018,
+EventStream after). Clients read the archive through the same two APIs
+the paper's tooling uses:
+
+- the **Availability API** (:mod:`repro.archive.availability`), which
+  returns the best snapshot for a URL and models the response-latency
+  tail that makes IABot's bounded lookups miss copies (§4.1);
+- the **CDX API** (:mod:`repro.archive.cdx`), which supports exact,
+  prefix (directory), and host queries with status filters — the
+  workhorse of the paper's redirect validation (§4.2) and spatial
+  coverage analysis (§5.2).
+"""
+
+from .availability import AvailabilityApi, AvailabilityPolicy
+from .savepagenow import SaveOutcome, SavePageNow, SaveResult
+from .cdx import CdxApi, CdxQuery
+from .crawler import (
+    ArchiveCrawler,
+    CrawlPolicy,
+    OrganicCrawlPlanner,
+    TriggeredArchiver,
+)
+from .snapshot import Snapshot
+from .store import SnapshotStore
+
+__all__ = [
+    "ArchiveCrawler",
+    "AvailabilityApi",
+    "AvailabilityPolicy",
+    "CdxApi",
+    "CdxQuery",
+    "CrawlPolicy",
+    "OrganicCrawlPlanner",
+    "SaveOutcome",
+    "SavePageNow",
+    "SaveResult",
+    "Snapshot",
+    "SnapshotStore",
+    "TriggeredArchiver",
+]

@@ -1,0 +1,138 @@
+"""The Wayback CDX server API.
+
+The CDX API enumerates captures matching a URL pattern — exact URL,
+same directory, string prefix, or whole hostname — with optional
+status filters and time bounds. The paper drives it for the §4.2
+sibling-redirect validation ("other URLs under the same directory …
+around that time") and the §5.2 spatial coverage analysis ("once to
+discover successfully archived URLs which are in the same directory
+... and once ... under the same hostname").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..clock import SimTime
+from ..urls.parse import parse_url
+from ..urls.psl import default_psl
+from .snapshot import Snapshot
+from .store import SnapshotStore
+
+
+class MatchType(enum.Enum):
+    """How the query URL is matched against archived URLs."""
+
+    EXACT = "exact"
+    DIRECTORY = "directory"  # same prefix until the last '/'
+    PREFIX = "prefix"        # string prefix (includes subdirectories)
+    HOST = "host"            # same hostname
+    DOMAIN = "domain"        # same registrable domain (PSL)
+
+
+@dataclass(frozen=True, slots=True)
+class CdxQuery:
+    """One CDX request.
+
+    Attributes:
+        url: the query URL (its directory/host are derived as needed).
+        match_type: matching scope.
+        initial_status: keep only captures with this initial status
+            (``200`` reproduces the paper's "successfully archived").
+        from_time / to_time: inclusive lower / exclusive upper capture
+            time bounds.
+        limit: maximum number of rows returned (0 = unlimited).
+        exclude_self: for DIRECTORY/PREFIX/HOST scopes, drop captures
+            of the query URL itself (the paper's sibling queries).
+    """
+
+    url: str
+    match_type: MatchType = MatchType.EXACT
+    initial_status: int | None = None
+    from_time: SimTime | None = None
+    to_time: SimTime | None = None
+    limit: int = 0
+    exclude_self: bool = False
+
+
+class CdxApi:
+    """CDX queries over a snapshot store."""
+
+    def __init__(self, store: SnapshotStore) -> None:
+        self._store = store
+        self._queries = 0
+
+    @property
+    def query_count(self) -> int:
+        """Number of queries served (for efficiency accounting)."""
+        return self._queries
+
+    def query(self, request: CdxQuery) -> tuple[Snapshot, ...]:
+        """All captures matching ``request``, ordered by URL then time."""
+        self._queries += 1
+        urls = self._candidate_urls(request)
+        rows: list[Snapshot] = []
+        for url in urls:
+            for snapshot in self._store.snapshots(url):
+                if not self._keep(snapshot, request):
+                    continue
+                rows.append(snapshot)
+                if request.limit and len(rows) >= request.limit:
+                    return tuple(rows)
+        return tuple(rows)
+
+    def archived_urls(self, request: CdxQuery) -> tuple[str, ...]:
+        """Distinct URLs with at least one capture matching ``request``.
+
+        This is the collapsed (``collapse=urlkey``) form of a CDX query,
+        which §5.2 uses to count archived siblings.
+        """
+        self._queries += 1
+        urls = []
+        for url in self._candidate_urls(request):
+            if any(
+                self._keep(snapshot, request)
+                for snapshot in self._store.snapshots(url)
+            ):
+                urls.append(url)
+                if request.limit and len(urls) >= request.limit:
+                    break
+        return tuple(urls)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _candidate_urls(self, request: CdxQuery) -> tuple[str, ...]:
+        if request.match_type is MatchType.EXACT:
+            return (request.url,)
+        parsed = parse_url(request.url)
+        if request.match_type is MatchType.DIRECTORY:
+            urls = self._store.urls_in_directory(parsed.directory)
+        elif request.match_type is MatchType.DOMAIN:
+            domain = default_psl().registrable_domain(parsed.host_lower)
+            urls = self._store.urls_in_domain(domain)
+        elif request.match_type is MatchType.PREFIX:
+            prefix = parsed.directory
+            urls = tuple(
+                url
+                for url in self._store.urls_on_host(parsed.host_lower)
+                if url.startswith(prefix)
+            )
+        else:
+            urls = self._store.urls_on_host(parsed.host_lower)
+        if request.exclude_self:
+            urls = tuple(url for url in urls if url != request.url)
+        return urls
+
+    @staticmethod
+    def _keep(snapshot: Snapshot, request: CdxQuery) -> bool:
+        if (
+            request.initial_status is not None
+            and snapshot.initial_status != request.initial_status
+        ):
+            return False
+        if request.from_time is not None and snapshot.captured_at < request.from_time:
+            return False
+        if request.to_time is not None and not snapshot.captured_at < request.to_time:
+            return False
+        return True

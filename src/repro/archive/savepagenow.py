@@ -1,0 +1,81 @@
+"""Save Page Now — the archive's on-demand capture endpoint.
+
+The paper's §5.1 implication ("whenever a link is posted, the liveness
+of the link is confirmed and an archived copy is captured soon
+thereafter") is exactly what the Internet Archive's Save Page Now API
+provides. This module models it: an on-demand capture request that
+also reports the liveness of the URL at capture time — the building
+block for an archive-on-post editing workflow (see
+``examples/archive_on_post.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..clock import SimTime
+from .crawler import ArchiveCrawler, CrawlPolicy
+from .snapshot import Snapshot
+
+
+class SaveOutcome(enum.Enum):
+    """What a Save Page Now request reported back."""
+
+    SAVED = "saved"
+    """Captured; the URL answered 200 — a usable copy now exists."""
+
+    SAVED_ERROR_PAGE = "saved_error_page"
+    """Captured, but the URL was already erroring — the archive stored
+    the error, and the requester should be told the link looks dead."""
+
+    BLOCKED = "blocked"
+    """robots.txt or the frontier policy forbids capturing this URL."""
+
+    UNREACHABLE = "unreachable"
+    """DNS failure or connection timeout; nothing stored."""
+
+
+@dataclass(frozen=True, slots=True)
+class SaveResult:
+    """Response of one Save Page Now request."""
+
+    url: str
+    outcome: SaveOutcome
+    snapshot: Snapshot | None = None
+
+    @property
+    def link_looks_alive(self) -> bool:
+        """Whether the requester should treat the link as working."""
+        return self.outcome is SaveOutcome.SAVED
+
+
+class SavePageNow:
+    """The on-demand capture endpoint."""
+
+    def __init__(
+        self,
+        crawler: ArchiveCrawler,
+        policy: CrawlPolicy | None = None,
+    ) -> None:
+        self._crawler = crawler
+        self._policy = policy if policy is not None else CrawlPolicy()
+        self.requests = 0
+
+    def save(self, url: str, at: SimTime) -> SaveResult:
+        """Capture ``url`` now and report what happened."""
+        self.requests += 1
+        if not self._policy.crawlable(url):
+            return SaveResult(url=url, outcome=SaveOutcome.BLOCKED)
+        if not self._crawler.robots_allows(url, at):
+            return SaveResult(url=url, outcome=SaveOutcome.BLOCKED)
+        snapshot = self._crawler.capture(url, at)
+        if snapshot is None:
+            return SaveResult(url=url, outcome=SaveOutcome.UNREACHABLE)
+        if snapshot.final_status == 200:
+            return SaveResult(
+                url=url, outcome=SaveOutcome.SAVED, snapshot=snapshot
+            )
+        return SaveResult(
+            url=url, outcome=SaveOutcome.SAVED_ERROR_PAGE, snapshot=snapshot
+        )

@@ -1,0 +1,98 @@
+"""One archived capture of one URL.
+
+A snapshot records what the crawler observed at capture time: the
+*initial* status (the response for the URL itself, before any
+redirect), the redirect target if the initial response was a 3xx, the
+*final* status and URL after the crawler followed redirects, and a
+MinHash sketch of the final body. This mirrors the fields the paper
+reads from the Wayback Machine: "for every archived copy, we logged
+the timestamp at which it was captured and the initial HTTP status
+code associated with that copy" (§2.4), plus the redirect targets
+needed for §4.2.
+
+Full bodies are not retained (the real Wayback stores them, but our
+analyses only ever compare content similarity, for which the sketch
+suffices at a tiny fraction of the memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SimTime
+from ..net.status import is_redirect, is_success
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """An archived copy of ``url`` captured at ``captured_at``.
+
+    Attributes:
+        url: the captured URL (exactly as requested).
+        captured_at: capture instant.
+        initial_status: HTTP status of the first response, or ``None``
+            when the capture attempt failed at the transport level
+            (DNS failure / connect timeout) — the real Wayback records
+            such attempts sparsely; we keep them for fidelity but all
+            read APIs skip them by default.
+        redirect_location: ``Location`` of the initial response when it
+            was a redirect.
+        final_status: status after the crawler followed redirects
+            (equals ``initial_status`` when there was no redirect).
+        final_url: URL of the final response.
+        sketch: MinHash sketch of the final response body.
+    """
+
+    url: str
+    captured_at: SimTime
+    initial_status: int | None
+    redirect_location: str | None = None
+    final_status: int | None = None
+    final_url: str | None = None
+    sketch: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.initial_status is not None and is_redirect(self.initial_status):
+            if not self.redirect_location:
+                raise ValueError(
+                    f"3xx snapshot of {self.url!r} needs redirect_location"
+                )
+
+    @property
+    def failed(self) -> bool:
+        """True when the capture never got an HTTP response."""
+        return self.initial_status is None
+
+    @property
+    def initial_ok(self) -> bool:
+        """Initial status 200 — IABot's bar for a usable copy."""
+        return self.initial_status == 200
+
+    @property
+    def initial_redirected(self) -> bool:
+        """Initial status was a 3xx."""
+        return self.initial_status is not None and is_redirect(self.initial_status)
+
+    @property
+    def looks_erroneous_by_status(self) -> bool:
+        """Erroneous judging by status codes alone (no content check).
+
+        4xx/5xx initially, a redirect whose final hop was not a
+        success, or a transport failure.
+        """
+        if self.initial_status is None:
+            return True
+        if self.initial_ok:
+            return False
+        if self.initial_redirected:
+            return self.final_status is None or not is_success(self.final_status)
+        return True
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``2014-03-02 302 -> http://.../index.htm``."""
+        stamp = self.captured_at.isoformat()
+        if self.initial_status is None:
+            return f"{stamp} <capture failed>"
+        if self.initial_redirected:
+            return f"{stamp} {self.initial_status} -> {self.redirect_location}"
+        return f"{stamp} {self.initial_status}"

@@ -1,0 +1,29 @@
+"""Dataset construction: world generation, collection, and sampling.
+
+``worldgen`` builds the synthetic universe (web + archive + Wikipedia
++ bot runs); ``collector`` reproduces §2.4's data collection (crawl
+the category, parse articles, mine edit histories); ``sampler`` draws
+the 10,000-link study dataset.
+"""
+
+from .collector import CollectedLink, Collector
+from .export import dumps_csv, dumps_jsonl, load_dataset, loads_jsonl, save_dataset
+from .records import Dataset, LinkRecord
+from .sampler import sample_iabot_marked
+from .worldgen import World, WorldConfig, generate_world
+
+__all__ = [
+    "CollectedLink",
+    "Collector",
+    "Dataset",
+    "LinkRecord",
+    "World",
+    "WorldConfig",
+    "dumps_csv",
+    "dumps_jsonl",
+    "generate_world",
+    "load_dataset",
+    "loads_jsonl",
+    "sample_iabot_marked",
+    "save_dataset",
+]

@@ -1,0 +1,141 @@
+"""Dataset export/import — release the study data like the paper would.
+
+Serialises a collected dataset (the link records) and, optionally, the
+per-link archived-copy census to newline-delimited JSON and CSV, and
+loads them back. The JSON round-trip is lossless for
+:class:`~repro.dataset.records.LinkRecord`; CSV is the
+spreadsheet-friendly view.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..clock import SimTime
+from ..errors import DatasetError
+from .records import Dataset, LinkRecord
+
+_JSON_FIELDS = (
+    "url",
+    "article_title",
+    "posted_at",
+    "marked_at",
+    "marked_by",
+    "site_ranking",
+)
+
+CSV_HEADER = (
+    "url",
+    "article_title",
+    "posted_date",
+    "marked_date",
+    "marked_by",
+    "site_ranking",
+    "hostname",
+    "domain",
+)
+
+
+def record_to_dict(record: LinkRecord) -> dict:
+    """A JSON-safe dict for one record."""
+    return {
+        "url": record.url,
+        "article_title": record.article_title,
+        "posted_at": record.posted_at.days,
+        "marked_at": record.marked_at.days,
+        "marked_by": record.marked_by,
+        "site_ranking": record.site_ranking,
+    }
+
+
+def record_from_dict(payload: dict) -> LinkRecord:
+    """Inverse of :func:`record_to_dict`; validates field presence."""
+    missing = [field for field in _JSON_FIELDS if field not in payload]
+    if missing:
+        raise DatasetError(f"record payload missing fields: {missing}")
+    return LinkRecord(
+        url=payload["url"],
+        article_title=payload["article_title"],
+        posted_at=SimTime(float(payload["posted_at"])),
+        marked_at=SimTime(float(payload["marked_at"])),
+        marked_by=payload["marked_by"],
+        site_ranking=payload["site_ranking"],
+    )
+
+
+def dumps_jsonl(dataset: Dataset) -> str:
+    """The dataset as newline-delimited JSON (one record per line),
+    preceded by a metadata line."""
+    lines = [
+        json.dumps(
+            {
+                "kind": "repro-dataset",
+                "version": 1,
+                "description": dataset.description,
+                "records": len(dataset),
+            }
+        )
+    ]
+    for record in dataset.records:
+        lines.append(json.dumps(record_to_dict(record), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def loads_jsonl(text: str) -> Dataset:
+    """Inverse of :func:`dumps_jsonl`, with header validation."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise DatasetError("empty dataset export")
+    header = json.loads(lines[0])
+    if header.get("kind") != "repro-dataset":
+        raise DatasetError("not a repro dataset export")
+    records = [record_from_dict(json.loads(line)) for line in lines[1:]]
+    declared = header.get("records")
+    if declared is not None and declared != len(records):
+        raise DatasetError(
+            f"export declares {declared} records but contains {len(records)}"
+        )
+    return Dataset(records=records, description=header.get("description", ""))
+
+
+def dumps_csv(dataset: Dataset) -> str:
+    """The dataset as CSV with derived hostname/domain columns."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_HEADER)
+    for record in dataset.records:
+        writer.writerow(
+            [
+                record.url,
+                record.article_title,
+                record.posted_at.isoformat(),
+                record.marked_at.isoformat(),
+                record.marked_by,
+                record.site_ranking if record.site_ranking is not None else "",
+                record.hostname,
+                record.domain,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write the dataset to ``path`` (.jsonl or .csv by extension)."""
+    if path.endswith(".csv"):
+        payload = dumps_csv(dataset)
+    elif path.endswith(".jsonl"):
+        payload = dumps_jsonl(dataset)
+    else:
+        raise DatasetError("path must end with .jsonl or .csv")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def load_dataset(path: str) -> Dataset:
+    """Read a ``.jsonl`` export back."""
+    if not path.endswith(".jsonl"):
+        raise DatasetError("only .jsonl exports can be loaded back")
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_jsonl(handle.read())

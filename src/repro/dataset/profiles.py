@@ -1,0 +1,136 @@
+"""Statistical profiles for the synthetic universe.
+
+Every distribution the world generator draws from lives here, with the
+paper's empirical shape it is calibrated against noted inline. These
+are calibration constants, not measurements — the measurement happens
+later, when the analysis pipeline observes the generated world.
+"""
+
+from __future__ import annotations
+
+from ..clock import SimTime
+from ..rng import Stream
+
+# -- posting dates (Figure 3c) ---------------------------------------------------
+#
+# The paper: links span 15 years; 40% posted after 2015, 20% after
+# 2017, and the shape tracks the English Wikipedia's growth.
+
+#: Weights are calibrated on the *marked* population: recently posted
+#: links get marked at a lower rate (they die close to the sweep
+#: horizon), so later years carry inverse-attrition boosts to land the
+#: paper's Figure 3c over the dataset the collector actually sees.
+POSTING_YEAR_WEIGHTS: tuple[tuple[int, float], ...] = (
+    (2004, 4.0),
+    (2005, 6.0),
+    (2006, 9.0),
+    (2007, 13.0),
+    (2008, 16.0),
+    (2009, 19.0),
+    (2010, 20.0),
+    (2011, 20.0),
+    (2012, 21.0),
+    (2013, 26.0),
+    (2014, 24.0),
+    (2015, 26.0),
+    (2016, 48.0),
+    (2017, 52.0),
+    (2018, 30.0),
+    (2019, 36.0),
+    (2020, 38.0),
+    (2021, 40.0),
+    (2022, 4.0),  # partial year; study is March 2022
+)
+
+
+def draw_posting_time(rng: Stream, latest: SimTime) -> SimTime:
+    """A link-posting instant following the Figure 3c profile."""
+    year = rng.weighted_choice(POSTING_YEAR_WEIGHTS)
+    instant = SimTime.from_year(year + rng.random())
+    if not instant < latest:
+        instant = SimTime(latest.days - rng.uniform(30.0, 400.0))
+    return instant
+
+
+# -- URLs per domain (Figure 3a) ----------------------------------------------------
+#
+# Heavy-tailed: >70% of domains contribute one URL; a few contribute
+# over 100. A truncated discrete power law over domain sizes with
+# exponent ~2.05 reproduces that CDF at 10k-link scale.
+
+DOMAIN_SIZE_ALPHA = 2.05
+DOMAIN_SIZE_MAX = 400
+
+
+def draw_domain_size(rng: Stream, remaining: int) -> int:
+    """How many dataset links the next domain contributes."""
+    size = rng.zipf(DOMAIN_SIZE_ALPHA, DOMAIN_SIZE_MAX)
+    return min(size, remaining)
+
+
+# -- site popularity (Figure 3b) --------------------------------------------------------
+#
+# Rankings spread across the whole 1..1M Alexa range, roughly log-
+# uniformly with extra mass in the unpopular tail (the CDF in Figure
+# 3b stays well below the diagonal for small ranks).
+
+RANK_MIN = 100
+RANK_MAX = 1_000_000
+
+
+def draw_site_ranking(rng: Stream) -> int:
+    """An Alexa-style global rank for a generated site."""
+    if rng.chance(0.35):
+        # Tail mass: plain uniform over the upper half of the range.
+        return rng.randint(RANK_MAX // 2, RANK_MAX)
+    return int(rng.log_uniform(RANK_MIN, RANK_MAX))
+
+
+# -- organic crawl rates -------------------------------------------------------------------
+#
+# Popular sites are recrawled often, unpopular ones rarely; the rate
+# drives both the Figure 5 first-capture gaps and the Figure 6
+# coverage counts.
+
+
+def draw_crawl_rate(rng: Stream, ranking: int) -> float:
+    """Organic captures per URL per year for a site of this rank."""
+    popularity_boost = (RANK_MAX / max(ranking, 1)) ** 0.18
+    return rng.log_uniform(0.12, 1.5) * popularity_boost
+
+
+def draw_discovery_lag_days(rng: Stream) -> float:
+    """Days between a page appearing on the web and the archive's
+    frontier learning that it exists."""
+    return rng.lognormal_days(150.0, 1.4)
+
+
+# -- page timing ---------------------------------------------------------------------------------
+
+
+def draw_page_age_at_posting(rng: Stream) -> float:
+    """Days a page had existed before someone cited it on Wikipedia."""
+    return rng.lognormal_days(400.0, 1.2)
+
+
+def draw_survival_after_posting(rng: Stream) -> float:
+    """Days from posting until a dying link stops working.
+
+    A mixture: some infant mortality (pages that vanish within months
+    of being cited) over a body with a median above two years — "many
+    links become dysfunctional even a few years after they are posted".
+    """
+    if rng.chance(0.22):
+        return rng.lognormal_days(100.0, 1.0)
+    return rng.lognormal_days(900.0, 0.8)
+
+
+def draw_extra_pages(rng: Stream, ranking: int) -> int:
+    """Non-wiki-linked pages a site hosts (spatial-coverage filler).
+
+    Bigger sites host more pages; truncated to keep simulation cost
+    bounded (we reproduce Figure 6's shape at reduced scale, as
+    documented in DESIGN.md).
+    """
+    popularity_boost = (RANK_MAX / max(ranking, 1)) ** 0.28
+    return int(rng.log_uniform(1.0, 8.0) * popularity_boost)

@@ -1,0 +1,34 @@
+"""Sampling the study dataset.
+
+The paper randomly samples 10,000 URLs *that were marked permanently
+dead by IABot* — markings by humans or other bots are excluded because
+IABot dominates and its open-source code lets the authors reason about
+its behaviour (§2.4).
+"""
+
+from __future__ import annotations
+
+from ..errors import DatasetError
+from ..rng import Stream, derive_seed
+from ..wiki.templates import IABOT_USERNAME
+from .collector import CollectedLink
+
+
+def sample_iabot_marked(
+    collected: list[CollectedLink],
+    k: int,
+    seed: int = 0,
+    marker: str = IABOT_USERNAME,
+) -> list[CollectedLink]:
+    """``k`` links marked by ``marker``, sampled without replacement.
+
+    If fewer than ``k`` qualifying links exist, all of them are
+    returned (in stable URL order after shuffling is skipped).
+    """
+    if k < 0:
+        raise DatasetError("sample size must be non-negative")
+    qualifying = [link for link in collected if link.marked_by == marker]
+    if len(qualifying) <= k:
+        return sorted(qualifying, key=lambda link: link.url)
+    rng = Stream(derive_seed(seed, "sampler"), "sampler")
+    return rng.sample(qualifying, k)

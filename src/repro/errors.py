@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro library.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ClockError(ReproError):
+    """Raised for invalid simulated-time operations (e.g. moving backwards)."""
+
+
+class UrlError(ReproError):
+    """Raised when a URL cannot be parsed or is structurally invalid."""
+
+
+class NetworkSimError(ReproError):
+    """Raised for misconfigured network simulation components."""
+
+
+class DnsError(NetworkSimError):
+    """Raised when DNS resolution fails for a hostname.
+
+    This models NXDOMAIN / SERVFAIL outcomes on the live web; the
+    fetcher converts it into a ``DNS_FAILURE`` outcome rather than
+    letting it propagate to analysis code.
+    """
+
+    def __init__(self, hostname: str, reason: str = "NXDOMAIN") -> None:
+        super().__init__(f"DNS resolution failed for {hostname!r}: {reason}")
+        self.hostname = hostname
+        self.reason = reason
+
+
+class ConnectionTimeout(NetworkSimError):
+    """Raised when TCP/TLS connection setup to a host times out."""
+
+    def __init__(self, hostname: str) -> None:
+        super().__init__(f"connection to {hostname!r} timed out")
+        self.hostname = hostname
+
+
+class TooManyRedirects(NetworkSimError):
+    """Raised when a fetch follows more redirects than its limit allows."""
+
+    def __init__(self, url: str, limit: int) -> None:
+        super().__init__(f"more than {limit} redirects while fetching {url!r}")
+        self.url = url
+        self.limit = limit
+
+
+class ArchiveError(ReproError):
+    """Base class for web-archive simulation errors."""
+
+
+class ArchiveTimeout(ArchiveError):
+    """Raised when an archive API lookup exceeds the caller's timeout.
+
+    IABot treats this as "no archived copies exist", which is the root
+    cause of the paper's Section 4.1 finding.
+    """
+
+    def __init__(self, url: str, timeout_ms: float) -> None:
+        super().__init__(
+            f"availability lookup for {url!r} exceeded {timeout_ms:.0f} ms"
+        )
+        self.url = url
+        self.timeout_ms = timeout_ms
+
+
+class WikiError(ReproError):
+    """Base class for Wikipedia simulation errors."""
+
+
+class ArticleNotFound(WikiError):
+    """Raised when an article title does not exist in the encyclopedia."""
+
+    def __init__(self, title: str) -> None:
+        super().__init__(f"no article titled {title!r}")
+        self.title = title
+
+
+class RevisionError(WikiError):
+    """Raised for invalid edit-history operations."""
+
+
+class DatasetError(ReproError):
+    """Raised when dataset collection or sampling cannot proceed."""
+
+
+class WorldGenError(ReproError):
+    """Raised when a :class:`~repro.dataset.worldgen.WorldConfig` is invalid."""

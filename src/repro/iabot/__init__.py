@@ -1,0 +1,33 @@
+"""A behavioural port of InternetArchiveBot (and WaybackMedic).
+
+The paper's central findings are *consequences of IABot's operating
+policies* (its single-GET deadness check, its bounded availability
+lookups, its refusal to use archived copies that were captured through
+a redirect, and its never-recheck-marked-links efficiency rule), so
+those policies are implemented explicitly and configurably here:
+
+- :class:`~repro.iabot.checker.LinkChecker` — deadness determination;
+- :class:`~repro.iabot.archive_client.IABotArchiveClient` — bounded
+  availability lookups with the initial-status-200 copy policy;
+- :class:`~repro.iabot.bot.InternetArchiveBot` — the scan/patch/mark
+  loop that edits articles;
+- :class:`~repro.iabot.medic.WaybackMedic` — the slower, thorough
+  re-checker that the Internet Archive ran after the paper's findings.
+"""
+
+from .archive_client import IABotArchiveClient
+from .bot import BotStats, InternetArchiveBot
+from .checker import CheckVerdict, LinkChecker
+from .config import IABotConfig
+from .medic import MedicReport, WaybackMedic
+
+__all__ = [
+    "BotStats",
+    "CheckVerdict",
+    "IABotArchiveClient",
+    "IABotConfig",
+    "InternetArchiveBot",
+    "LinkChecker",
+    "MedicReport",
+    "WaybackMedic",
+]

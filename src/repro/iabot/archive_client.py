@@ -1,0 +1,52 @@
+"""IABot's view of the Wayback Machine.
+
+Two policies the paper pins its §4 findings on live here:
+
+1. **Bounded lookups** — the availability query runs under a timeout;
+   no answer in time means the bot proceeds as if no archived copies
+   exist ("To operate efficiently at scale, the bot assumes that a
+   link was never archived if its attempt to lookup archived copies
+   for that link does not complete in a timely manner").
+2. **No-redirect copies only** — only snapshots whose *initial* status
+   was 200 qualify ("it conservatively links to a page's archived copy
+   only if no redirections were encountered when that copy was
+   crawled"). The availability API itself implements the 200 filter,
+   matching the real API's behaviour.
+"""
+
+from __future__ import annotations
+
+from ..archive.availability import AvailabilityApi
+from ..archive.snapshot import Snapshot
+from ..clock import SimTime
+from ..errors import ArchiveTimeout
+
+
+class IABotArchiveClient:
+    """Bounded closest-copy lookups."""
+
+    def __init__(
+        self, api: AvailabilityApi, timeout_ms: float | None = 5000.0
+    ) -> None:
+        self._api = api
+        self._timeout_ms = timeout_ms
+        self.lookups = 0
+        self.timeouts = 0
+
+    def find_copy(self, url: str, posted_at: SimTime) -> Snapshot | None:
+        """The usable archived copy closest to ``posted_at``, if the
+        lookup completes in time.
+
+        Returns ``None`` both when no qualifying copy exists and when
+        the lookup times out — the two cases are indistinguishable to
+        IABot, which is precisely the paper's point.
+        """
+        self.lookups += 1
+        try:
+            result = self._api.lookup(
+                url, around=posted_at, timeout_ms=self._timeout_ms
+            )
+        except ArchiveTimeout:
+            self.timeouts += 1
+            return None
+        return result.snapshot

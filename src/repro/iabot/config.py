@@ -1,0 +1,39 @@
+"""IABot operating parameters.
+
+Defaults model the behaviour the paper describes; ablation benchmarks
+sweep them to quantify how much each policy costs (DESIGN.md ABL-1 and
+ABL-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class IABotConfig:
+    """Knobs for the bot's scan loop.
+
+    Attributes:
+        availability_timeout_ms: budget for one Wayback Availability
+            API lookup; a slower answer is treated as "this URL was
+            never archived" (§4.1). ``None`` disables the timeout.
+        recheck_marked_links: whether a sweep re-checks references that
+            already carry a dead-link annotation. IABot keeps this off
+            to "maximize efficiency" (§3); the paper recommends turning
+            it on occasionally, which is ablation ABL-3.
+        checks_before_dead: how many consecutive failed fetches are
+            needed to declare a link dead. The paper observes IABot
+            effectively "determines whether the link is dead by
+            attempting to fetch the link only once".
+    """
+
+    availability_timeout_ms: float | None = 5000.0
+    recheck_marked_links: bool = False
+    checks_before_dead: int = 1
+
+    def __post_init__(self) -> None:
+        if self.availability_timeout_ms is not None and self.availability_timeout_ms <= 0:
+            raise ValueError("availability_timeout_ms must be positive or None")
+        if self.checks_before_dead < 1:
+            raise ValueError("checks_before_dead must be >= 1")

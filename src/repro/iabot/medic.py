@@ -1,0 +1,126 @@
+"""WaybackMedic: the thorough re-checker.
+
+Section 4.1: after the authors reported that the Wayback Machine held
+200-status copies for many links IABot had marked permanently dead,
+the Internet Archive ran WaybackMedic — "an alternate bot … [that]
+runs more slowly than IABot … but it is more comprehensive in finding
+usable archived copies" — and patched 20,080 links.
+
+Our medic re-examines every permanently-dead reference with *patient*
+availability lookups (no timeout) and, optionally, with a §4.2-style
+validated-redirect finder injected by the caller, quantifying exactly
+how many "permanently dead" links were patchable all along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..archive.availability import AvailabilityApi
+from ..archive.snapshot import Snapshot
+from ..clock import SimTime
+from ..wiki.encyclopedia import Encyclopedia, PERMADEAD_CATEGORY
+from ..wiki.templates import build_archive_url, patched_cite, webarchive
+from ..wiki.wikitext import LinkRef
+
+#: Optional hook: given (url, marked_at) return a validated 3xx
+#: snapshot usable as a patch, or None. Provided by
+#: :mod:`repro.analysis.redirects` when redirect-patching is enabled.
+RedirectFinder = Callable[[str, SimTime], Snapshot | None]
+
+MEDIC_USERNAME = "WaybackMedic"
+
+
+@dataclass
+class MedicReport:
+    """What one medic run did."""
+
+    articles_examined: int = 0
+    links_examined: int = 0
+    patched_with_200_copy: int = 0
+    patched_with_validated_redirect: int = 0
+    still_permadead: int = 0
+
+    @property
+    def patched_total(self) -> int:
+        """All rescues, both 200-copy and validated-redirect."""
+        return self.patched_with_200_copy + self.patched_with_validated_redirect
+
+
+class WaybackMedic:
+    """Patient re-examination of permanently dead references."""
+
+    def __init__(
+        self,
+        encyclopedia: Encyclopedia,
+        availability: AvailabilityApi,
+        redirect_finder: RedirectFinder | None = None,
+    ) -> None:
+        self._enc = encyclopedia
+        self._availability = availability
+        self._redirect_finder = redirect_finder
+
+    def run(self, at: SimTime) -> MedicReport:
+        """Re-examine every article in the permanently-dead category."""
+        report = MedicReport()
+        for title in self._enc.articles_in_category(PERMADEAD_CATEGORY):
+            self._treat_article(title, at, report)
+        return report
+
+    def _treat_article(self, title: str, at: SimTime, report: MedicReport) -> None:
+        article = self._enc.article(title)
+        report.articles_examined += 1
+        text = article.wikitext
+        replacements: list[tuple[tuple[int, int], str]] = []
+        for ref in article.link_refs():
+            if not ref.is_permanently_dead:
+                continue
+            report.links_examined += 1
+            replacement = self._treat_ref(article, ref, at, report)
+            if replacement is not None:
+                replacements.append((ref.span, replacement))
+        if not replacements:
+            return
+        from .bot import _splice  # shared span-splicing helper
+
+        self._enc.edit_article(
+            title,
+            at,
+            MEDIC_USERNAME,
+            _splice(text, replacements),
+            comment="Rescuing previously unrecoverable sources",
+        )
+
+    def _treat_ref(
+        self, article, ref: LinkRef, at: SimTime, report: MedicReport
+    ) -> str | None:
+        posted = article.first_revision_with_url(ref.url)
+        posted_at = posted.timestamp if posted is not None else at
+        marked = article.first_revision_marking_dead(ref.url)
+        marked_at = marked.timestamp if marked is not None else at
+        # Patient lookup: no timeout, so the latency tail cannot hide
+        # copies from the medic. Only copies that predate the marking
+        # qualify — a 200 captured after the link died is usually a
+        # parked lander or soft-404, not the cited content.
+        result = self._availability.lookup(
+            ref.url, around=posted_at, before=marked_at
+        )
+        if result.snapshot is not None:
+            report.patched_with_200_copy += 1
+            return self._patch_text(ref, result.snapshot, at)
+        if self._redirect_finder is not None:
+            snapshot = self._redirect_finder(ref.url, marked_at)
+            if snapshot is not None:
+                report.patched_with_validated_redirect += 1
+                return self._patch_text(ref, snapshot, at)
+        report.still_permadead += 1
+        return None
+
+    @staticmethod
+    def _patch_text(ref: LinkRef, snapshot: Snapshot, at: SimTime) -> str:
+        archive = build_archive_url(snapshot.url, snapshot.captured_at)
+        if ref.cite is not None:
+            return patched_cite(ref.cite, archive, at).render()
+        base = f"[{ref.url} {ref.title}]" if ref.title else f"[{ref.url}]"
+        return base + webarchive(archive, at).render()

@@ -1,0 +1,26 @@
+"""Simulated network stack: DNS, HTTP, and a redirect-following fetcher.
+
+The paper probes each URL with a plain HTTP GET, following redirects,
+and classifies the outcome into five categories (Figure 4): DNS
+failure, timeout, 404, 200, other. This package provides exactly that
+client, plus the transport-level failure modes (NXDOMAIN, connection
+timeouts) that the simulated web triggers.
+"""
+
+from .dns import DnsRecord, DnsTable
+from .fetch import FetchResult, Fetcher
+from .http import HttpRequest, HttpResponse
+from .status import Outcome, classify_final_status, is_redirect, is_success
+
+__all__ = [
+    "DnsRecord",
+    "DnsTable",
+    "FetchResult",
+    "Fetcher",
+    "HttpRequest",
+    "HttpResponse",
+    "Outcome",
+    "classify_final_status",
+    "is_redirect",
+    "is_success",
+]

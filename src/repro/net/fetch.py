@@ -1,0 +1,199 @@
+"""A redirect-following HTTP GET client over the simulated network.
+
+This is the probe the whole study rides on. One call resolves DNS,
+connects, issues the GET, follows redirects (re-resolving each hop's
+hostname), and produces a :class:`FetchResult` carrying the full
+response chain plus the Figure-4 outcome classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..clock import SimTime
+from ..errors import ConnectionTimeout, DnsError, UrlError
+from ..urls.parse import ParsedUrl, parse_url
+from .dns import DnsTable
+from .http import HttpRequest, HttpResponse
+from .status import Outcome, classify_final_status
+
+DEFAULT_MAX_REDIRECTS = 10
+
+
+class OriginServer(Protocol):
+    """Anything that can answer a GET for a resolved address.
+
+    Implementations may raise :class:`~repro.errors.ConnectionTimeout`
+    to model unreachable-but-registered hosts.
+    """
+
+    def handle(
+        self, address: str, request: HttpRequest, at: SimTime
+    ) -> HttpResponse:
+        """Serve one GET for the resolved ``address``."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class FetchResult:
+    """The observable result of fetching one URL at one point in time.
+
+    Attributes:
+        url: the URL requested.
+        outcome: Figure-4 classification of what happened.
+        chain: every HTTP response hop, in order (empty when DNS failed
+            or the connection timed out).
+        error: transport-level error description, if any.
+    """
+
+    url: str
+    outcome: Outcome
+    chain: tuple[HttpResponse, ...] = field(default_factory=tuple)
+    error: str | None = None
+
+    @property
+    def initial_status(self) -> int | None:
+        """Status before any redirection (None on DNS failure/timeout)."""
+        return self.chain[0].status if self.chain else None
+
+    @property
+    def final_status(self) -> int | None:
+        """Status after all redirections (None on DNS failure/timeout)."""
+        return self.chain[-1].status if self.chain else None
+
+    @property
+    def final_url(self) -> str | None:
+        """The URL that produced the final response."""
+        return self.chain[-1].url if self.chain else None
+
+    @property
+    def body(self) -> str:
+        """Body of the final response (empty on transport failure)."""
+        return self.chain[-1].body if self.chain else ""
+
+    @property
+    def redirected(self) -> bool:
+        """Whether any redirect hop occurred before the final response."""
+        return len(self.chain) > 1
+
+    @property
+    def ok(self) -> bool:
+        """IABot's aliveness criterion: final status 200."""
+        return self.final_status == 200
+
+    def describe(self) -> str:
+        """One-line summary for logs and examples."""
+        if self.error:
+            return f"{self.url} -> {self.outcome.value} ({self.error})"
+        hops = " -> ".join(str(hop.status) for hop in self.chain)
+        return f"{self.url} -> [{hops}] {self.outcome.value}"
+
+
+class Fetcher:
+    """HTTP GET with redirect following over a DNS table and origin fabric.
+
+    Args:
+        dns: the simulated DNS table.
+        origin: the server fabric (the live web, in practice).
+        max_redirects: hop budget before giving up with outcome OTHER.
+    """
+
+    def __init__(
+        self,
+        dns: DnsTable,
+        origin: OriginServer,
+        max_redirects: int = DEFAULT_MAX_REDIRECTS,
+    ) -> None:
+        self._dns = dns
+        self._origin = origin
+        self._max_redirects = max_redirects
+        self._fetch_count = 0
+
+    @property
+    def fetch_count(self) -> int:
+        """Number of fetches issued (for efficiency accounting)."""
+        return self._fetch_count
+
+    def fetch(self, url: str | ParsedUrl, at: SimTime) -> FetchResult:
+        """GET ``url`` at simulated time ``at``, following redirects.
+
+        Malformed URLs yield a DNS_FAILURE outcome (a browser would
+        fail to resolve garbage too) rather than raising, so analysis
+        loops never crash on a typo'd scheme.
+        """
+        self._fetch_count += 1
+        try:
+            current = parse_url(url) if isinstance(url, str) else url
+        except UrlError as exc:
+            return FetchResult(
+                url=str(url), outcome=Outcome.DNS_FAILURE, error=str(exc)
+            )
+        requested = str(current)
+        chain: list[HttpResponse] = []
+        seen: set[str] = set()
+        for _ in range(self._max_redirects + 1):
+            try:
+                record = self._dns.resolve(current.host_lower, at)
+            except DnsError as exc:
+                if chain:
+                    # A redirect pointed at a dead hostname; the final
+                    # observable state is the redirect chain so far,
+                    # which did not end in 200/404.
+                    return FetchResult(
+                        url=requested,
+                        outcome=Outcome.OTHER,
+                        chain=tuple(chain),
+                        error=str(exc),
+                    )
+                return FetchResult(
+                    url=requested, outcome=Outcome.DNS_FAILURE, error=str(exc)
+                )
+            try:
+                response = self._origin.handle(
+                    record.address, HttpRequest(url=current), at
+                )
+            except ConnectionTimeout as exc:
+                if chain:
+                    return FetchResult(
+                        url=requested,
+                        outcome=Outcome.OTHER,
+                        chain=tuple(chain),
+                        error=str(exc),
+                    )
+                return FetchResult(
+                    url=requested, outcome=Outcome.TIMEOUT, error=str(exc)
+                )
+            chain.append(response)
+            if not response.is_redirect:
+                return FetchResult(
+                    url=requested,
+                    outcome=classify_final_status(response.status),
+                    chain=tuple(chain),
+                )
+            target = response.location
+            assert target is not None
+            if target in seen or target == str(current):
+                # Redirect loop: surface what we have as OTHER.
+                return FetchResult(
+                    url=requested,
+                    outcome=Outcome.OTHER,
+                    chain=tuple(chain),
+                    error="redirect loop",
+                )
+            seen.add(str(current))
+            try:
+                current = parse_url(target)
+            except UrlError as exc:
+                return FetchResult(
+                    url=requested,
+                    outcome=Outcome.OTHER,
+                    chain=tuple(chain),
+                    error=f"bad redirect target: {exc}",
+                )
+        return FetchResult(
+            url=requested,
+            outcome=Outcome.OTHER,
+            chain=tuple(chain),
+            error=f"more than {self._max_redirects} redirects",
+        )

@@ -1,0 +1,78 @@
+"""Empirical CDFs, the paper's figure format of choice.
+
+Figures 3, 5, and 6 are all CDFs; this module computes them and
+evaluates them at arbitrary points (for table-form comparisons and for
+Kolmogorov-Smirnov-style closeness checks between the "our dataset"
+and "random sample" series).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a sorted sample."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(b < a for a, b in zip(self.values, self.values[1:])):
+            raise ValueError("Ecdf values must be sorted")
+
+    @property
+    def n(self) -> int:
+        """Sample size."""
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """F(x) = P(value <= x)."""
+        if not self.values:
+            return 0.0
+        return bisect_right(self.values, x) / self.n
+
+    def quantile(self, q: float) -> float:
+        """The smallest value v with F(v) >= q."""
+        if not self.values:
+            raise ValueError("quantile of an empty Ecdf")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if q == 0.0:
+            return self.values[0]
+        index = min(int(q * self.n + 1e-9), self.n - 1)
+        if q * self.n == int(q * self.n) and q < 1.0:
+            index = max(int(q * self.n) - 1, 0)
+        return self.values[index]
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs suitable for plotting or printing."""
+        if not self.values:
+            return []
+        pairs: list[tuple[float, float]] = []
+        step = max(len(self.values) // points, 1)
+        for index in range(0, len(self.values), step):
+            x = self.values[index]
+            pairs.append((x, self.at(x)))
+        last = self.values[-1]
+        if not pairs or pairs[-1][0] != last:
+            pairs.append((last, 1.0))
+        return pairs
+
+    def ks_distance(self, other: "Ecdf") -> float:
+        """Kolmogorov-Smirnov statistic between two ECDFs.
+
+        The paper's representativeness check ("largely identical"
+        distributions between its dataset and a fully random sample)
+        is quantified with this.
+        """
+        if not self.values or not other.values:
+            return 1.0 if bool(self.values) != bool(other.values) else 0.0
+        grid = sorted(set(self.values) | set(other.values))
+        return max(abs(self.at(x) - other.at(x)) for x in grid)
+
+
+def ecdf(sample: list[float] | list[int]) -> Ecdf:
+    """Build an :class:`Ecdf` from an unsorted sample."""
+    return Ecdf(values=tuple(sorted(float(v) for v in sample)))

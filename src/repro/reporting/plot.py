@@ -1,0 +1,91 @@
+"""ASCII line plots for CDFs.
+
+``render_cdf`` (figures.py) prints tabular F(x) values; this module
+draws the curves themselves — good enough to eyeball a knee or a
+crossover against the paper's plots in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .cdf import Ecdf
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_cdf_plot(
+    series: dict[str, Ecdf],
+    title: str,
+    x_label: str,
+    log_x: bool = False,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot one or more CDFs as an ASCII chart.
+
+    The y axis is F(x) in [0, 1]; the x axis spans the pooled value
+    range, geometrically when ``log_x``.
+    """
+    pooled = [v for curve in series.values() for v in curve.values]
+    if not pooled:
+        return f"{title}\n  (no data)"
+    lo, hi = min(pooled), max(pooled)
+    if log_x:
+        lo = max(lo, 1e-9)
+        hi = max(hi, lo * 1.0001)
+    elif hi <= lo:
+        hi = lo + 1.0
+
+    def x_at(column: int) -> float:
+        """The x value a chart column represents."""
+        fraction = column / max(width - 1, 1)
+        if log_x:
+            return lo * (hi / lo) ** fraction
+        return lo + (hi - lo) * fraction
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for column in range(width):
+            y = curve.at(x_at(column))
+            row = height - 1 - min(int(y * (height - 1) + 0.5), height - 1)
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        y_value = 1.0 - row_index / (height - 1)
+        labelled = row_index % 5 == 0 or row_index == height - 1
+        label = f"{y_value:4.2f} |" if labelled else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = _format_tick(lo)
+    right = _format_tick(hi)
+    middle = _format_tick(x_at(width // 2))
+    axis = f"      {left}"
+    pad = max(width // 2 - len(left) - len(middle) // 2, 1)
+    axis += " " * pad + middle
+    pad = max(width - len(axis) + 6 - len(right), 1)
+    axis += " " * pad + right
+    lines.append(axis)
+    lines.append(f"      x: {x_label}" + ("  (log scale)" if log_x else ""))
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10000 or magnitude < 0.01:
+        exponent = int(math.floor(math.log10(magnitude)))
+        mantissa = value / 10**exponent
+        return f"{mantissa:.0f}e{exponent}"
+    if magnitude >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.2g}"

@@ -1,0 +1,97 @@
+"""Paper-vs-measured comparison tables.
+
+Every benchmark ends by printing one of these: the paper's reported
+value next to what this reproduction measured, with a tolerance band
+that encodes "the shape should hold" (who wins, by roughly what
+factor) rather than absolute-number equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One headline quantity."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = "%"
+    tolerance: float = 0.5
+    """Relative tolerance band: measured within paper*(1 +/- tolerance)
+    counts as reproducing the shape. Wide by design — the substrate is
+    a simulator, not the authors' vantage point."""
+
+    @property
+    def within_band(self) -> bool:
+        """Whether the measured value reproduces the paper's shape."""
+        if self.paper == 0:
+            return abs(self.measured) < max(self.tolerance, 1e-9)
+        lo = self.paper * (1.0 - self.tolerance)
+        hi = self.paper * (1.0 + self.tolerance)
+        return lo <= self.measured <= hi
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (inf when the paper value is zero)."""
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+
+@dataclass
+class ComparisonTable:
+    """A titled collection of comparison rows."""
+
+    title: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        paper: float,
+        measured: float,
+        unit: str = "%",
+        tolerance: float = 0.5,
+    ) -> None:
+        """Append one quantity to the table."""
+        self.rows.append(
+            ComparisonRow(
+                name=name,
+                paper=paper,
+                measured=measured,
+                unit=unit,
+                tolerance=tolerance,
+            )
+        )
+
+    @property
+    def all_within_band(self) -> bool:
+        """Whether every row reproduces the paper's shape."""
+        return all(row.within_band for row in self.rows)
+
+    def failures(self) -> list[ComparisonRow]:
+        """Rows outside their tolerance band."""
+        return [row for row in self.rows if not row.within_band]
+
+    def render(self) -> str:
+        """The table as fixed-width text."""
+        body = [
+            [
+                row.name,
+                row.paper,
+                row.measured,
+                row.unit,
+                "ok" if row.within_band else "OFF",
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers=["quantity", "paper", "measured", "unit", "band"],
+            rows=body,
+            title=self.title,
+        )

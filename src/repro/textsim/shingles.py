@@ -1,0 +1,149 @@
+"""k-shingling and Jaccard similarity (Broder et al., 1997).
+
+A *k-shingle* is a contiguous sequence of k tokens; a document's
+shingle set characterises its content robustly against small local
+edits. The paper declares a URL broken when the shingle similarity
+between its response and a random sibling's response exceeds 99%
+(§3), allowing for the fact that two fetches of even the same page can
+differ slightly (timestamps, ads, request ids).
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+DEFAULT_K = 4
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens of ``text``."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def shingle_set(text: str, k: int = DEFAULT_K) -> frozenset[tuple[str, ...]]:
+    """The set of k-token shingles of ``text``.
+
+    Documents shorter than ``k`` tokens yield their single truncated
+    token tuple, so that trivially short pages (error stubs) still
+    compare sensibly.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    tokens = tokenize(text)
+    if not tokens:
+        return frozenset()
+    if len(tokens) < k:
+        return frozenset({tuple(tokens)})
+    return frozenset(
+        tuple(tokens[i: i + k]) for i in range(len(tokens) - k + 1)
+    )
+
+
+def jaccard(a: frozenset, b: frozenset) -> float:
+    """Jaccard similarity |a ∩ b| / |a ∪ b|; empty-vs-empty is 1.0."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def shingle_similarity(text_a: str, text_b: str, k: int = DEFAULT_K) -> float:
+    """Jaccard similarity of the k-shingle sets of two documents."""
+    return jaccard(shingle_set(text_a, k), shingle_set(text_b, k))
+
+
+# -- MinHash sketches ---------------------------------------------------------
+#
+# Archived snapshots cannot store full bodies at simulation scale, so
+# the crawler records a MinHash sketch — the standard compact estimator
+# of shingle-set Jaccard similarity (also from Broder's line of work).
+# The study only needs to distinguish "near-identical boilerplate"
+# (similarity ~1) from "distinct documents" (similarity ~0), for which
+# a small number of hash functions suffices.
+
+NUM_MINHASHES = 16
+
+_MASK64 = (1 << 64) - 1
+#: Fixed odd multipliers/xors defining the hash family; arbitrary
+#: constants chosen once so sketches are stable across runs.
+_MULTIPLIERS = tuple(
+    (0x9E3779B97F4A7C15 * (2 * i + 1)) & _MASK64 for i in range(NUM_MINHASHES)
+)
+_XORS = tuple(
+    (0xC2B2AE3D27D4EB4F * (i + 1)) & _MASK64 for i in range(NUM_MINHASHES)
+)
+
+# Shingle hashing is the hot loop of archive capture, so it is
+# vectorised: each token gets a stable crc32 (cached — page text draws
+# from a small vocabulary), and a k-shingle's hash mixes the k token
+# hashes with fixed odd multipliers, all in numpy.
+_token_hash_cache: dict[str, int] = {}
+
+_SHINGLE_MIX = None  # initialised lazily with numpy
+
+
+def _numpy():
+    import numpy
+
+    return numpy
+
+
+def _token_hashes(tokens: list[str]):
+    import zlib
+
+    cache = _token_hash_cache
+    values = []
+    for token in tokens:
+        value = cache.get(token)
+        if value is None:
+            value = zlib.crc32(token.encode("utf-8"))
+            cache[token] = value
+        values.append(value)
+    return values
+
+
+def _shingle_hash_vector(tokens: list[str], k: int):
+    """Vector of 64-bit hashes, one per k-shingle of ``tokens``."""
+    np = _numpy()
+    hashes = np.asarray(_token_hashes(tokens), dtype=np.uint64)
+    if len(tokens) < k:
+        k = len(tokens)
+    mixed = np.zeros(len(tokens) - k + 1, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for offset in range(k):
+            lane = hashes[offset: len(hashes) - k + 1 + offset]
+            mixed ^= lane * np.uint64(
+                (0x9E3779B97F4A7C15 * (2 * offset + 3)) & _MASK64
+            )
+            mixed = (mixed << np.uint64(7)) | (mixed >> np.uint64(57))
+    return mixed
+
+
+def minhash_sketch(text: str, k: int = DEFAULT_K) -> tuple[int, ...]:
+    """The MinHash sketch of ``text``'s k-shingle set.
+
+    Empty documents sketch to all-zeros sentinel values so that two
+    empty bodies compare as identical.
+    """
+    np = _numpy()
+    tokens = tokenize(text)
+    if not tokens:
+        return (0,) * NUM_MINHASHES
+    shingle_hashes = np.unique(_shingle_hash_vector(tokens, k))
+    mults = np.asarray(_MULTIPLIERS, dtype=np.uint64)[:, None]
+    xors = np.asarray(_XORS, dtype=np.uint64)[:, None]
+    with np.errstate(over="ignore"):
+        permuted = (shingle_hashes[None, :] ^ xors) * mults
+    return tuple(int(value) for value in permuted.min(axis=1))
+
+
+def sketch_similarity(a: tuple[int, ...], b: tuple[int, ...]) -> float:
+    """Estimated Jaccard similarity from two MinHash sketches."""
+    if len(a) != len(b) or not a:
+        raise ValueError("sketches must be the same non-zero length")
+    matches = sum(1 for x, y in zip(a, b) if x == y)
+    return matches / len(a)

@@ -1,0 +1,232 @@
+"""Synthetic URL and hostname generation.
+
+The world generator needs realistic-looking URLs: hostnames over a mix
+of TLD/public-suffix choices, directory hierarchies, article-style
+slugs, numeric page identifiers, and query-parameter-heavy deep links
+(the kind §5.2 shows are hard to archive). It also needs to *mutate* a
+URL into a plausible human typo (the §5 finding that ~2% of permanently
+dead links never worked).
+"""
+
+from __future__ import annotations
+
+from ..rng import Stream
+from .parse import ParsedUrl
+
+_WORDS = (
+    "news", "sports", "archive", "story", "article", "report", "local",
+    "world", "politics", "science", "music", "film", "history", "art",
+    "events", "results", "index", "page", "view", "media", "press",
+    "culture", "review", "profile", "team", "match", "season", "album",
+    "artist", "city", "region", "health", "tech", "travel", "guide",
+    "photo", "gallery", "paper", "journal", "record", "library",
+)
+
+_BRAND_SYLLABLES = (
+    "alba", "bren", "cor", "dura", "esto", "fina", "gram", "hales",
+    "ingo", "jura", "kino", "lumo", "mira", "nor", "opta", "pres",
+    "quin", "rada", "sola", "tern", "ulto", "vera", "wick", "xeno",
+    "yond", "zeta", "mar", "vel", "tan", "rio", "sun", "sky",
+)
+
+_SUFFIX_WEIGHTS = (
+    ("com", 42.0),
+    ("org", 14.0),
+    ("net", 7.0),
+    ("co.uk", 6.0),
+    ("de", 5.0),
+    ("fr", 4.0),
+    ("gov.au", 2.0),
+    ("edu", 3.0),
+    ("org.il", 1.0),
+    ("info", 2.0),
+    ("it", 2.0),
+    ("nl", 2.0),
+    ("com.au", 2.0),
+    ("co.nz", 1.0),
+    ("se", 1.0),
+    ("jp", 1.0),
+    ("ru", 1.0),
+    ("pl", 1.0),
+    ("es", 2.0),
+    ("ca", 1.0),
+)
+
+_SUBDOMAIN_WEIGHTS = (
+    ("www", 55.0),
+    ("", 25.0),
+    ("news", 6.0),
+    ("archive", 4.0),
+    ("en", 4.0),
+    ("m", 3.0),
+    ("old", 3.0),
+)
+
+_QUERY_KEYS = (
+    "id", "page", "view", "article", "ref", "lang", "cat", "item",
+    "Source", "Skin", "BaseHref", "EntityId", "ViewMode", "From",
+)
+
+_TYPO_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789-_."
+
+
+class UrlFactory:
+    """Generates hostnames, paths, and typo mutations from one RNG stream."""
+
+    def __init__(self, rng: Stream) -> None:
+        self._rng = rng
+        self._issued_hosts: set[str] = set()
+
+    # -- hostnames -------------------------------------------------------------
+
+    def brand(self) -> str:
+        """A pronounceable site brand, e.g. ``mirapres``."""
+        syllables = self._rng.randint(2, 3)
+        return "".join(self._rng.choice(_BRAND_SYLLABLES) for _ in range(syllables))
+
+    def hostname(self) -> str:
+        """A fresh, unique hostname like ``www.mirapres.co.uk``."""
+        for _ in range(1000):
+            brand = self.brand()
+            suffix = self._rng.weighted_choice(_SUFFIX_WEIGHTS)
+            sub = self._rng.weighted_choice(_SUBDOMAIN_WEIGHTS)
+            host = f"{brand}.{suffix}" if not sub else f"{sub}.{brand}.{suffix}"
+            registered = f"{brand}.{suffix}"
+            if registered not in self._issued_hosts:
+                self._issued_hosts.add(registered)
+                return host
+        raise RuntimeError("hostname space exhausted; increase syllable pool")
+
+    def sibling_hostname(self, hostname: str) -> str:
+        """A different subdomain of the same registered domain."""
+        parts = hostname.split(".")
+        base = ".".join(parts[1:]) if len(parts) > 2 else hostname
+        for _ in range(100):
+            sub = self._rng.weighted_choice(_SUBDOMAIN_WEIGHTS)
+            candidate = f"{sub}.{base}" if sub else base
+            if candidate != hostname:
+                return candidate
+        return f"alt.{base}"
+
+    # -- paths ------------------------------------------------------------------
+
+    def slug(self, words: int | None = None) -> str:
+        """A hyphenated article slug, e.g. ``local-match-results``."""
+        count = words if words is not None else self._rng.randint(2, 5)
+        return "-".join(self._rng.choice(_WORDS) for _ in range(count))
+
+    def directory(self, depth: int | None = None) -> str:
+        """A directory path like ``/news/2011/`` (always slash-terminated)."""
+        levels = depth if depth is not None else self._rng.randint(1, 3)
+        parts = []
+        for _ in range(levels):
+            if self._rng.chance(0.3):
+                parts.append(str(self._rng.randint(1998, 2021)))
+            else:
+                parts.append(self._rng.choice(_WORDS))
+        return "/" + "/".join(parts) + "/"
+
+    def leaf(self, style: str = "slug") -> str:
+        """A page leaf name in one of several styles.
+
+        ``slug``    hyphenated words plus ``.html``
+        ``numeric`` a numeric identifier, e.g. ``9204093.htm``
+        ``asp``     a script name (query params added separately)
+        """
+        if style == "numeric":
+            return f"{self._rng.randint(100000, 9999999)}.htm"
+        if style == "asp":
+            return self._rng.choice(("ArticleWin.asp", "Default.asp", "view.php", "story.jsp"))
+        ext = self._rng.choice((".html", ".htm", ""))
+        return f"{self.slug()}{ext}"
+
+    def query_string(self, params: int | None = None) -> str:
+        """A query string with the given number of parameters."""
+        count = params if params is not None else self._rng.randint(2, 6)
+        keys = self._rng.sample(_QUERY_KEYS, min(count, len(_QUERY_KEYS)))
+        pairs = []
+        for key in keys:
+            if self._rng.chance(0.5):
+                value = str(self._rng.randint(1, 99999))
+            else:
+                value = self._rng.choice(_WORDS)
+            pairs.append(f"{key}={value}")
+        return "&".join(pairs)
+
+    # -- typos --------------------------------------------------------------------
+
+    def typo(self, url: ParsedUrl) -> ParsedUrl:
+        """Mutate ``url`` by one edit, the way a human mangles a pasted link.
+
+        Edits only the path/query (hostname typos would change which
+        site the request reaches, which is not the §5 failure mode the
+        paper describes). The result is at edit distance exactly 1 from
+        the original full URL string.
+        """
+        tail = url.path + (f"?{url.query}" if url.query else "")
+        body = tail[1:]  # keep the leading '/' intact
+        if not body:
+            body = "x"
+            op = "insert"
+        else:
+            op = self._rng.weighted_choice(
+                (("delete", 4.0), ("substitute", 3.0), ("insert", 3.0))
+            )
+        index = self._rng.randrange(len(body)) if body else 0
+        if op == "delete":
+            mutated = body[:index] + body[index + 1:]
+            if not mutated:
+                mutated = body + self._rng.choice(_TYPO_ALPHABET)
+        elif op == "substitute":
+            replacement = self._rng.choice(_TYPO_ALPHABET)
+            while replacement == body[index]:
+                replacement = self._rng.choice(_TYPO_ALPHABET)
+            mutated = body[:index] + replacement + body[index + 1:]
+        else:
+            mutated = body[:index] + self._rng.choice(_TYPO_ALPHABET) + body[index:]
+        new_tail = "/" + mutated
+        if "?" in new_tail:
+            path, query = new_tail.split("?", 1)
+        else:
+            path, query = new_tail, ""
+        if not path:
+            path = "/"
+        return ParsedUrl(
+            scheme=url.scheme, hostname=url.hostname, path=path, query=query
+        )
+
+    def reorder_query(self, url: ParsedUrl) -> ParsedUrl | None:
+        """The same URL with its query parameters in a different order.
+
+        ``None`` when the URL has fewer than two parameters (no
+        distinct ordering exists). Servers treat both orderings as the
+        same resource; web archives do not (§5.2, implication b).
+        """
+        from .parse import QueryArgs
+
+        pairs = list(QueryArgs.parse(url.query).pairs)
+        if len(pairs) < 2:
+            return None
+        for _ in range(20):
+            shuffled = pairs[:]
+            self._rng.shuffle(shuffled)
+            if shuffled != pairs:
+                query = "&".join(f"{key}={value}" for key, value in shuffled)
+                return ParsedUrl(
+                    scheme=url.scheme,
+                    hostname=url.hostname,
+                    path=url.path,
+                    query=query,
+                )
+        return None
+
+    def random_leaf_probe(self, url: ParsedUrl, length: int = 25) -> ParsedUrl:
+        """The §3 soft-404 probe URL: leaf replaced by random characters.
+
+        *"we obtain a new URL u' which is identical to u except that the
+        suffix in u following the last occurrence of '/' is replaced by
+        a randomly generated string of 25 characters."*
+        """
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        random_leaf = "".join(self._rng.choice(alphabet) for _ in range(length))
+        return url.with_leaf(random_leaf)

@@ -1,0 +1,24 @@
+"""The simulated live web.
+
+Sites own directory trees of pages; pages have lifecycles (created,
+moved, deleted, never-existed); sites have fates of their own
+(abandoned DNS, parked by a squatter, geo-blocked, flaky). The
+:class:`~repro.web.world.LiveWeb` registry serves HTTP requests at any
+simulated instant, so the same URL can be alive in 2009, a 404 in 2016,
+and a 301 to its new home in 2022 — exactly the temporal structure the
+paper's findings hinge on.
+"""
+
+from .behaviors import MissingPagePolicy, SiteState
+from .page import Page, PageFate
+from .site import Site
+from .world import LiveWeb
+
+__all__ = [
+    "LiveWeb",
+    "MissingPagePolicy",
+    "Page",
+    "PageFate",
+    "Site",
+    "SiteState",
+]

@@ -1,0 +1,38 @@
+"""A simulated English Wikipedia.
+
+Articles hold wikitext with citation templates and external links;
+every edit appends an immutable revision, so the full edit history the
+paper mines (§2.4 — "we fetched the entire edit history of each
+article") is first-class. The encyclopedia maintains the category
+index (notably "Articles with permanently dead external links") and a
+link-posted event stream that feeds the archive's triggered crawler.
+"""
+
+from .api import WikiApi
+from .article import Article, Revision
+from .encyclopedia import Encyclopedia, PERMADEAD_CATEGORY
+from .events import LinkPostedEvent
+from .templates import (
+    DEAD_LINK_TEMPLATE,
+    IABOT_USERNAME,
+    build_archive_url,
+    parse_archive_url,
+)
+from .wikitext import LinkRef, Template, extract_link_refs, parse_templates
+
+__all__ = [
+    "Article",
+    "DEAD_LINK_TEMPLATE",
+    "Encyclopedia",
+    "IABOT_USERNAME",
+    "LinkPostedEvent",
+    "LinkRef",
+    "PERMADEAD_CATEGORY",
+    "Revision",
+    "Template",
+    "WikiApi",
+    "build_archive_url",
+    "extract_link_refs",
+    "parse_archive_url",
+    "parse_templates",
+]

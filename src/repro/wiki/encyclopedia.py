@@ -1,0 +1,107 @@
+"""The encyclopedia: all articles, categories, and the event stream.
+
+The category the paper crawls — "Articles with permanently dead
+external links" — is not stored anywhere on the real Wikipedia either;
+it is *derived* from article wikitext (a ``{{dead link}}`` annotation
+with a bot attribution files the article there). We derive it the same
+way, with an incremental cache maintained on every edit.
+"""
+
+from __future__ import annotations
+
+from ..clock import SimTime
+from ..errors import ArticleNotFound, WikiError
+from .article import Article, Revision
+from .events import EventLog, LinkPostedEvent
+
+#: The category listing the paper crawled in March 2022 [31].
+PERMADEAD_CATEGORY = "Articles with permanently dead external links"
+
+
+class Encyclopedia:
+    """Title-indexed articles with derived categories and link events."""
+
+    def __init__(self) -> None:
+        self._articles: dict[str, Article] = {}
+        self._permadead_members: set[str] = set()
+        self.events = EventLog()
+
+    # -- article management -----------------------------------------------------
+
+    def create_article(
+        self, title: str, at: SimTime, user: str, wikitext: str
+    ) -> Article:
+        """Create an article with its first revision."""
+        if title in self._articles:
+            raise WikiError(f"article {title!r} already exists")
+        article = Article(title=title)
+        self._articles[title] = article
+        self._apply_edit(article, at, user, wikitext, comment="created page")
+        return article
+
+    def edit_article(
+        self, title: str, at: SimTime, user: str, wikitext: str, comment: str = ""
+    ) -> Revision:
+        """Append a revision to an existing article."""
+        article = self.article(title)
+        return self._apply_edit(article, at, user, wikitext, comment)
+
+    def article(self, title: str) -> Article:
+        """Look up an article by exact title."""
+        try:
+            return self._articles[title]
+        except KeyError:
+            raise ArticleNotFound(title) from None
+
+    def titles(self) -> tuple[str, ...]:
+        """All article titles in alphabetical order (the order the
+        category listing presents them in, which §2.4 relies on)."""
+        return tuple(sorted(self._articles))
+
+    def __len__(self) -> int:
+        return len(self._articles)
+
+    # -- categories ----------------------------------------------------------------
+
+    def articles_in_category(self, category: str) -> tuple[str, ...]:
+        """Alphabetical titles of category members.
+
+        Only the permanently-dead-links category is materialised; it is
+        the only one the study reads.
+        """
+        if category != PERMADEAD_CATEGORY:
+            raise WikiError(f"unknown category {category!r}")
+        return tuple(sorted(self._permadead_members))
+
+    # -- internals -------------------------------------------------------------------
+
+    def _apply_edit(
+        self, article: Article, at: SimTime, user: str, wikitext: str, comment: str
+    ) -> Revision:
+        previous_urls = (
+            {ref.url for ref in article.latest.link_refs()}
+            if article.revisions
+            else set()
+        )
+        revision = article.edit(at, user, wikitext, comment)
+        for ref in revision.link_refs():
+            if ref.url not in previous_urls:
+                self.events.append(
+                    LinkPostedEvent(
+                        url=ref.url, article_title=article.title, posted_at=at
+                    )
+                )
+        self._refresh_category(article)
+        return revision
+
+    def _refresh_category(self, article: Article) -> None:
+        # Any user's {{dead link}} annotation files the article here
+        # (§2.4: "any Wikipedia user can annotate any link"); filtering
+        # to IABot-marked links happens later, via history mining.
+        is_member = any(
+            ref.is_permanently_dead for ref in article.latest.link_refs()
+        )
+        if is_member:
+            self._permadead_members.add(article.title)
+        else:
+            self._permadead_members.discard(article.title)

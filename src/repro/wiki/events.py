@@ -1,0 +1,46 @@
+"""The link-posted event stream.
+
+The Internet Archive learned about new Wikipedia external links from
+the Wikipedia Near Real Time service (2013-2018) and the Wikipedia
+EventStream (2018-). In the simulation, the encyclopedia emits a
+:class:`LinkPostedEvent` whenever an edit introduces a URL that the
+previous revision of the article did not reference; the archive's
+triggered crawler subscribes to this log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SimTime
+
+
+@dataclass(frozen=True, slots=True)
+class LinkPostedEvent:
+    """A URL newly referenced by an article."""
+
+    url: str
+    article_title: str
+    posted_at: SimTime
+
+
+class EventLog:
+    """Append-only log of link-posted events."""
+
+    def __init__(self) -> None:
+        self._events: list[LinkPostedEvent] = []
+
+    def append(self, event: LinkPostedEvent) -> None:
+        """Record one link-posted event."""
+        self._events.append(event)
+
+    def events(self) -> tuple[LinkPostedEvent, ...]:
+        """All events in emission order."""
+        return tuple(self._events)
+
+    def events_for(self, url: str) -> tuple[LinkPostedEvent, ...]:
+        """Events for one URL (a URL can be posted on many articles)."""
+        return tuple(event for event in self._events if event.url == url)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,108 @@
+"""Citation and maintenance template helpers.
+
+Builders for the wikitext idioms the simulation writes and the study
+reads: ``{{cite web}}`` references, ``{{dead link}}`` annotations, and
+``web.archive.org``-style archived-copy URLs.
+"""
+
+from __future__ import annotations
+
+from ..clock import SimTime
+from .wikitext import Template, make_template
+
+#: The bot the paper studies. Its username appears both in the edit
+#: history (revision author) and in the ``bot=`` parameter of the
+#: dead-link annotations it writes.
+IABOT_USERNAME = "InternetArchiveBot"
+
+#: Template name used for dead-link annotations.
+DEAD_LINK_TEMPLATE = "dead link"
+
+#: Hostname of the simulated Wayback Machine's replay endpoint.
+ARCHIVE_HOST = "web.archive.org"
+
+_MONTHS = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+
+def month_year(at: SimTime) -> str:
+    """``March 2022``-style date used in maintenance templates."""
+    date = at.to_date()
+    return f"{_MONTHS[date.month - 1]} {date.year}"
+
+
+def cite_web(url: str, title: str) -> Template:
+    """A fresh ``{{cite web}}`` reference."""
+    return make_template("cite web", url=url, title=title)
+
+
+def dead_link(at: SimTime, bot: str | None = None) -> Template:
+    """A ``{{dead link}}`` annotation.
+
+    With ``bot`` set (IABot's edits), ``fix-attempted=yes`` is included
+    — on the real Wikipedia that combination is what renders as
+    "permanent dead link" and files the article into the category the
+    paper crawls.
+    """
+    if bot:
+        return make_template(
+            DEAD_LINK_TEMPLATE,
+            date=month_year(at),
+            bot=bot,
+            fix_attempted="yes",
+        )
+    return make_template(DEAD_LINK_TEMPLATE, date=month_year(at))
+
+
+def webarchive(archive_url: str, at: SimTime) -> Template:
+    """A ``{{webarchive}}`` template — how bare bracket links get
+    patched with an archived copy."""
+    return make_template("webarchive", url=archive_url, date=at.isoformat())
+
+
+def patched_cite(cite: Template, archive_url: str, at: SimTime) -> Template:
+    """``cite`` augmented with an archived copy (IABot's patch edit)."""
+    extra = (
+        ("archive-url", archive_url),
+        ("archive-date", at.isoformat()),
+        ("url-status", "dead"),
+    )
+    existing = tuple(
+        (key, value)
+        for key, value in cite.params
+        if key not in ("archive-url", "archive-date", "url-status")
+    )
+    return Template(name=cite.name, params=existing + extra)
+
+
+def build_archive_url(url: str, captured_at: SimTime) -> str:
+    """``http://web.archive.org/web/<stamp>/<url>`` replay URL."""
+    date = captured_at.to_date()
+    stamp = f"{date.year:04d}{date.month:02d}{date.day:02d}000000"
+    return f"http://{ARCHIVE_HOST}/web/{stamp}/{url}"
+
+
+def parse_archive_url(archive_url: str) -> tuple[SimTime, str] | None:
+    """Inverse of :func:`build_archive_url`; None if not a replay URL."""
+    prefix_http = f"http://{ARCHIVE_HOST}/web/"
+    prefix_https = f"https://{ARCHIVE_HOST}/web/"
+    if archive_url.startswith(prefix_http):
+        rest = archive_url[len(prefix_http):]
+    elif archive_url.startswith(prefix_https):
+        rest = archive_url[len(prefix_https):]
+    else:
+        return None
+    if "/" not in rest:
+        return None
+    stamp, original = rest.split("/", 1)
+    if len(stamp) != 14 or not stamp.isdigit():
+        return None
+    import datetime as _dt
+
+    try:
+        date = _dt.date(int(stamp[:4]), int(stamp[4:6]), int(stamp[6:8]))
+    except ValueError:
+        return None
+    return SimTime.from_date(date), original

@@ -1,0 +1,95 @@
+"""Shared fixtures.
+
+Two tiers:
+
+- hand-built micro-webs (function-scoped, cheap) for unit tests that
+  need precise control over lifecycles;
+- one small generated world + its study report (session-scoped, a few
+  seconds) for integration tests over the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import SimTime
+from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.web.behaviors import MissingPagePolicy
+from repro.web.page import Page, PageFate
+from repro.web.site import Site
+from repro.web.world import LiveWeb
+
+T2005 = SimTime.from_ymd(2005, 1, 1)
+T2008 = SimTime.from_ymd(2008, 1, 1)
+T2012 = SimTime.from_ymd(2012, 6, 1)
+T2016 = SimTime.from_ymd(2016, 6, 1)
+T2020 = SimTime.from_ymd(2020, 1, 1)
+T2022 = SimTime.from_ymd(2022, 3, 15)
+
+
+@pytest.fixture
+def micro_web() -> LiveWeb:
+    """A tiny live web with one site exercising several lifecycles.
+
+    Pages on news.example.com:
+      /stays/alive.html          alive since 2008
+      /gone/deleted.html         alive 2008, deleted 2012
+      /moved/late.html           alive 2008, moved 2012, redirect added 2020
+      /moved/prompt.html         alive 2008, moved+redirected 2012
+      /new/late-target.html      the late-moved page's new home
+      /new/prompt-target.html    the prompt-moved page's new home
+    """
+    web = LiveWeb()
+    site = Site(
+        hostname="news.example.com",
+        seed="micro",
+        created_at=T2005,
+        missing_policy=MissingPagePolicy.HARD_404,
+    )
+    site.add_page(Page(path_query="/stays/alive.html", created_at=T2008))
+    site.add_page(
+        Page(
+            path_query="/gone/deleted.html",
+            created_at=T2008,
+            fate=PageFate.DELETED,
+            died_at=T2012,
+        )
+    )
+    site.add_page(
+        Page(
+            path_query="/moved/late.html",
+            created_at=T2008,
+            fate=PageFate.MOVED,
+            died_at=T2012,
+            moved_to="http://news.example.com/new/late-target.html",
+            redirect_added_at=T2020,
+        )
+    )
+    site.add_page(
+        Page(
+            path_query="/moved/prompt.html",
+            created_at=T2008,
+            fate=PageFate.MOVED,
+            died_at=T2012,
+            moved_to="http://news.example.com/new/prompt-target.html",
+            redirect_added_at=T2012,
+        )
+    )
+    site.add_page(Page(path_query="/new/late-target.html", created_at=T2012))
+    site.add_page(Page(path_query="/new/prompt-target.html", created_at=T2012))
+    web.add_site(site)
+    return web
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small but complete generated universe (shared, read-only)."""
+    return generate_world(WorldConfig(n_links=1300, target_sample=1300, seed=42))
+
+
+@pytest.fixture(scope="session")
+def small_report(small_world):
+    """The full study report over :func:`small_world` (read-only)."""
+    from repro.analysis.study import Study
+
+    return Study.from_world(small_world).run()

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_study(self, capsys):
+        assert main(["study", "--links", "400", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "permanently dead links studied" in out
+
+    def test_study_markdown(self, tmp_path, capsys):
+        path = str(tmp_path / "report.md")
+        assert main(
+            ["study", "--links", "400", "--seed", "6", "--markdown", path]
+        ) == 0
+        with open(path, encoding="utf-8") as handle:
+            document = handle.read()
+        assert document.startswith("# Study report")
+        assert "## Paper vs measured" in document
+
+    def test_medic(self, capsys):
+        assert main(["medic", "--links", "400", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "patched" in out and "category" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

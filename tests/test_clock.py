@@ -1,0 +1,101 @@
+"""Tests for repro.clock."""
+
+import datetime
+
+import pytest
+
+from repro.clock import (
+    EPOCH,
+    STUDY_TIME,
+    SimClock,
+    SimTime,
+    WAYBACK_START,
+    WIKIPEDIA_START,
+)
+from repro.errors import ClockError
+
+
+class TestSimTime:
+    def test_from_date_roundtrip(self):
+        date = datetime.date(2015, 7, 20)
+        assert SimTime.from_date(date).to_date() == date
+
+    def test_epoch_is_day_zero(self):
+        assert SimTime.from_date(EPOCH).days == 0.0
+
+    def test_from_ymd(self):
+        assert SimTime.from_ymd(2000, 1, 2).days == 1.0
+
+    def test_from_year_whole(self):
+        assert SimTime.from_year(2010).to_date() == datetime.date(2010, 1, 1)
+
+    def test_from_year_fractional_lands_mid_year(self):
+        mid = SimTime.from_year(2010.5).to_date()
+        assert mid.year == 2010
+        assert 6 <= mid.month <= 7
+
+    def test_year_property(self):
+        assert SimTime.from_ymd(2013, 12, 31).year == 2013
+
+    def test_fractional_year_monotone_within_year(self):
+        jan = SimTime.from_ymd(2012, 1, 15)
+        nov = SimTime.from_ymd(2012, 11, 15)
+        assert jan.fractional_year() < nov.fractional_year() < 2013
+
+    def test_plus_minus_days(self):
+        t = SimTime.from_ymd(2010, 1, 1)
+        assert t.plus_days(10).days == t.days + 10
+        assert t.minus_days(10).days == t.days - 10
+
+    def test_days_until_and_since_are_signed(self):
+        a = SimTime(100.0)
+        b = SimTime(130.0)
+        assert a.days_until(b) == 30.0
+        assert b.days_since(a) == 30.0
+        assert b.days_until(a) == -30.0
+
+    def test_same_day(self):
+        a = SimTime(100.2)
+        b = SimTime(100.9)
+        c = SimTime(101.0)
+        assert a.same_day(b)
+        assert not a.same_day(c)
+
+    def test_ordering(self):
+        assert SimTime(1.0) < SimTime(2.0)
+        assert SimTime(2.0) >= SimTime(2.0)
+        assert SimTime(3.0) == SimTime(3.0)
+
+    def test_isoformat(self):
+        assert SimTime.from_ymd(2022, 3, 15).isoformat() == "2022-03-15"
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ClockError):
+            SimTime("2022")  # type: ignore[arg-type]
+
+    def test_named_instants_are_ordered(self):
+        assert WAYBACK_START < WIKIPEDIA_START < STUDY_TIME
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now.days == 0.0
+
+    def test_advance(self):
+        clock = SimClock(SimTime(10.0))
+        assert clock.advance(5.0).days == 15.0
+        assert clock.now.days == 15.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock(SimTime(10.0))
+        clock.advance_to(SimTime(20.0))
+        assert clock.now.days == 20.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(SimTime(10.0))
+        with pytest.raises(ClockError):
+            clock.advance_to(SimTime(5.0))

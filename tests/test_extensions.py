@@ -1,0 +1,151 @@
+"""Tests for the paper's implication extensions.
+
+Covers §5.2 implication (b) — recovering archived copies under a
+different query-parameter ordering — plus the substrate behaviour it
+depends on (order-insensitive page resolution) and the shared-domain
+hostname generation.
+"""
+
+import pytest
+
+from repro.analysis.query_variants import (
+    canonical_key,
+    find_reordered_variants,
+)
+from repro.archive.cdx import CdxApi
+from repro.archive.crawler import ArchiveCrawler
+from repro.archive.store import SnapshotStore
+from repro.clock import SimTime
+from repro.dataset.records import LinkRecord
+from repro.rng import Stream
+from repro.urls.generate import UrlFactory
+from repro.urls.parse import parse_url
+from repro.web.page import Page
+from repro.web.site import Site
+from repro.web.world import LiveWeb
+from repro.wiki.templates import IABOT_USERNAME
+
+T2005 = SimTime.from_ymd(2005, 1, 1)
+T2008 = SimTime.from_ymd(2008, 1, 1)
+T2012 = SimTime.from_ymd(2012, 1, 1)
+
+PAGE_URL = "http://q.example.com/view.asp?a=1&b=2&c=3"
+REORDERED = "http://q.example.com/view.asp?c=3&a=1&b=2"
+
+
+def record(url) -> LinkRecord:
+    return LinkRecord(
+        url=url,
+        article_title="A",
+        posted_at=T2008,
+        marked_at=T2012,
+        marked_by=IABOT_USERNAME,
+    )
+
+
+@pytest.fixture
+def query_web() -> LiveWeb:
+    web = LiveWeb()
+    site = Site(hostname="q.example.com", seed="qv", created_at=T2005)
+    site.add_page(Page(path_query="/view.asp?a=1&b=2&c=3", created_at=T2008))
+    web.add_site(site)
+    return web
+
+
+class TestOrderInsensitiveServing:
+    def test_reordered_query_serves_same_content(self, query_web):
+        a = query_web.fetch(PAGE_URL, T2012)
+        b = query_web.fetch(REORDERED, T2012)
+        assert a.final_status == b.final_status == 200
+        # Same resource: identical stable content (nonce token aside).
+        assert a.body.rsplit(" ", 1)[0] == b.body.rsplit(" ", 1)[0]
+
+    def test_different_parameters_still_missing(self, query_web):
+        result = query_web.fetch("http://q.example.com/view.asp?a=9&b=2&c=3", T2012)
+        assert result.final_status == 404
+
+    def test_pathless_urls_unaffected(self, query_web):
+        assert query_web.fetch("http://q.example.com/other.html", T2012).final_status == 404
+
+
+class TestReorderQuery:
+    def test_produces_distinct_equivalent_url(self):
+        factory = UrlFactory(Stream(3))
+        url = parse_url(PAGE_URL)
+        variant = factory.reorder_query(url)
+        assert variant is not None
+        assert str(variant) != str(url)
+        assert canonical_key(str(variant)) == canonical_key(str(url))
+
+    def test_single_param_has_no_variant(self):
+        factory = UrlFactory(Stream(3))
+        assert factory.reorder_query(parse_url("http://e.com/x?a=1")) is None
+
+    def test_no_query_has_no_variant(self):
+        factory = UrlFactory(Stream(3))
+        assert factory.reorder_query(parse_url("http://e.com/x")) is None
+
+
+class TestCanonicalKey:
+    def test_order_insensitive(self):
+        assert canonical_key(PAGE_URL) == canonical_key(REORDERED)
+
+    def test_value_sensitive(self):
+        assert canonical_key(PAGE_URL) != canonical_key(
+            "http://q.example.com/view.asp?a=1&b=2&c=4"
+        )
+
+    def test_path_sensitive(self):
+        assert canonical_key(PAGE_URL) != canonical_key(
+            "http://q.example.com/other.asp?a=1&b=2&c=3"
+        )
+
+    def test_malformed_is_none(self):
+        assert canonical_key("nonsense") is None
+
+
+class TestVariantRecovery:
+    def _cdx_with_variant(self, query_web) -> CdxApi:
+        store = SnapshotStore()
+        crawler = ArchiveCrawler(query_web.fetcher(), store)
+        crawler.capture(REORDERED, T2008.plus_days(100))
+        return CdxApi(store)
+
+    def test_finds_archived_reordering(self, query_web):
+        cdx = self._cdx_with_variant(query_web)
+        report = find_reordered_variants([record(PAGE_URL)], cdx)
+        assert len(report) == 1
+        assert report.findings[0].archived_variant == REORDERED
+        assert report.with_query == 1
+
+    def test_queryless_links_skipped(self, query_web):
+        cdx = self._cdx_with_variant(query_web)
+        report = find_reordered_variants(
+            [record("http://q.example.com/plain.html")], cdx
+        )
+        assert report.with_query == 0
+        assert len(report) == 0
+
+    def test_no_variant_archived(self):
+        report = find_reordered_variants(
+            [record(PAGE_URL)], CdxApi(SnapshotStore())
+        )
+        assert len(report) == 0
+
+    def test_different_resource_not_matched(self, query_web):
+        cdx = self._cdx_with_variant(query_web)
+        report = find_reordered_variants(
+            [record("http://q.example.com/view.asp?a=1&b=2&c=9")], cdx
+        )
+        assert len(report) == 0
+
+
+class TestSharedDomains:
+    def test_worldgen_produces_subdomain_siblings(self, small_world):
+        from repro.urls.psl import registrable_domain
+
+        hostnames = {
+            truth.hostname for truth in small_world.truth.values()
+        }
+        domains = {registrable_domain(h) for h in hostnames}
+        assert len(hostnames) > len(domains)

@@ -1,0 +1,104 @@
+"""Tests for the link-lifetime estimators (extension)."""
+
+import pytest
+
+from repro.analysis.lifetimes import (
+    kaplan_meier,
+    median_survival,
+    survival_at,
+    time_to_marking,
+)
+from repro.clock import SimTime
+from repro.dataset.records import LinkRecord
+
+
+def record(posted_days, marked_days) -> LinkRecord:
+    return LinkRecord(
+        url="http://e.com/x",
+        article_title="T",
+        posted_at=SimTime(float(posted_days)),
+        marked_at=SimTime(float(marked_days)),
+        marked_by="InternetArchiveBot",
+    )
+
+
+class TestTimeToMarking:
+    def test_basic(self):
+        assert time_to_marking([record(100, 400)]) == [300.0]
+
+    def test_clamped_at_zero(self):
+        assert time_to_marking([record(400, 100)]) == [0.0]
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_ecdf(self):
+        durations = [10.0, 20.0, 30.0, 40.0]
+        curve = kaplan_meier(durations, [True] * 4)
+        assert [p.survival for p in curve] == pytest.approx(
+            [0.75, 0.5, 0.25, 0.0]
+        )
+
+    def test_censoring_inflates_survival(self):
+        durations = [10.0, 20.0, 30.0, 40.0]
+        uncensored = kaplan_meier(durations, [True, True, True, True])
+        censored = kaplan_meier(durations, [True, False, True, True])
+        assert survival_at(censored, 35.0) > survival_at(uncensored, 35.0)
+
+    def test_ties_handled(self):
+        curve = kaplan_meier([10.0, 10.0, 20.0], [True, True, True])
+        assert curve[0].events == 2
+        assert curve[0].survival == pytest.approx(1 / 3)
+
+    def test_fully_censored_flat(self):
+        curve = kaplan_meier([5.0, 10.0], [False, False])
+        assert curve == []
+        assert survival_at(curve, 100.0) == 1.0
+
+    def test_median(self):
+        curve = kaplan_meier([10.0, 20.0, 30.0, 40.0], [True] * 4)
+        assert median_survival(curve) == 20.0
+
+    def test_median_not_reached(self):
+        curve = kaplan_meier([10.0, 20.0, 30.0], [True, False, False])
+        assert median_survival(curve) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([1.0], [True, False])
+        with pytest.raises(ValueError):
+            kaplan_meier([-1.0], [True])
+
+
+class TestAgainstGroundTruth:
+    def test_km_recovers_generator_lifetimes(self, small_world):
+        """Estimate survival from (observable-style) first-failure data
+        and compare with the generator's dead_from ground truth."""
+        durations = []
+        observed = []
+        horizon = small_world.study_time
+        for truth in small_world.truth.values():
+            posted = truth.posted_at
+            if truth.dead_from is not None and truth.dead_from < horizon:
+                durations.append(max(truth.dead_from.days - posted.days, 0.0))
+                observed.append(True)
+            else:
+                durations.append(max(horizon.days - posted.days, 0.0))
+                observed.append(False)
+        curve = kaplan_meier(durations, observed)
+        # ~26% of links never die; survival must level off above that
+        # and the curve must drop substantially within a decade.
+        assert survival_at(curve, 365.0 * 30) > 0.15
+        assert survival_at(curve, 365.0 * 10) < 0.7
+
+    def test_marking_lags_death(self, small_report, small_world):
+        """Posted-to-marking durations upper-bound posted-to-death."""
+        lag_violations = 0
+        for record_ in small_report.dataset.records:
+            truth = small_world.truth[record_.url]
+            if truth.dead_from is None:
+                continue
+            if record_.marked_at < truth.dead_from:
+                lag_violations += 1
+        # IABot can only mark after the link is dead (tiny slack for
+        # flaky sites where "death" is fuzzy).
+        assert lag_violations <= len(small_report.dataset.records) * 0.05

@@ -1,0 +1,248 @@
+"""Tests for repro.net — DNS, HTTP types, status taxonomy, fetcher."""
+
+import pytest
+
+from repro.clock import SimTime
+from repro.errors import ConnectionTimeout, DnsError
+from repro.net.dns import DnsRecord, DnsTable
+from repro.net.fetch import FetchResult, Fetcher
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.status import (
+    FIGURE4_ORDER,
+    Outcome,
+    classify_final_status,
+    is_redirect,
+    is_success,
+)
+
+T0 = SimTime.from_ymd(2010, 1, 1)
+T1 = SimTime.from_ymd(2015, 1, 1)
+T2 = SimTime.from_ymd(2020, 1, 1)
+
+
+class TestStatusTaxonomy:
+    def test_success(self):
+        assert is_success(200)
+        assert is_success(204)
+        assert not is_success(302)
+
+    def test_redirect(self):
+        for code in (301, 302, 303, 307, 308):
+            assert is_redirect(code)
+        assert not is_redirect(200)
+        assert not is_redirect(304)  # not a Location-style redirect
+
+    def test_classification(self):
+        assert classify_final_status(404) is Outcome.HTTP_404
+        assert classify_final_status(200) is Outcome.HTTP_200
+        assert classify_final_status(503) is Outcome.OTHER
+        assert classify_final_status(403) is Outcome.OTHER
+
+    def test_figure4_order(self):
+        assert FIGURE4_ORDER[0] is Outcome.DNS_FAILURE
+        assert len(FIGURE4_ORDER) == 5
+
+
+class TestDnsTable:
+    def test_resolve_active_record(self):
+        table = DnsTable()
+        table.register(DnsRecord("a.com", "site:a", T0, T1))
+        assert table.resolve("a.com", T0.plus_days(1)).address == "site:a"
+
+    def test_expired_record_nxdomain(self):
+        table = DnsTable()
+        table.register(DnsRecord("a.com", "site:a", T0, T1))
+        with pytest.raises(DnsError):
+            table.resolve("a.com", T1.plus_days(1))
+
+    def test_unregistered_nxdomain(self):
+        with pytest.raises(DnsError):
+            DnsTable().resolve("nope.com", T0)
+
+    def test_before_registration_nxdomain(self):
+        table = DnsTable()
+        table.register(DnsRecord("a.com", "site:a", T1))
+        with pytest.raises(DnsError):
+            table.resolve("a.com", T0)
+
+    def test_reregistration_after_expiry(self):
+        table = DnsTable()
+        table.register(DnsRecord("a.com", "site:a", T0, T1))
+        table.register(DnsRecord("a.com", "parked:a", T1.plus_days(100)))
+        assert table.resolve("a.com", T2).address == "parked:a"
+
+    def test_overlapping_registration_rejected(self):
+        table = DnsTable()
+        table.register(DnsRecord("a.com", "site:a", T0, T1))
+        with pytest.raises(DnsError):
+            table.register(DnsRecord("a.com", "other", T0.plus_days(10)))
+
+    def test_case_insensitive(self):
+        table = DnsTable()
+        table.register(DnsRecord("A.CoM", "site:a", T0))
+        assert table.resolve("a.com", T1).address == "site:a"
+
+    def test_hostnames_listing(self):
+        table = DnsTable()
+        table.register(DnsRecord("b.com", "x", T0))
+        table.register(DnsRecord("a.com", "y", T0))
+        assert table.hostnames() == ["a.com", "b.com"]
+
+
+class TestHttpResponse:
+    def test_redirect_requires_location(self):
+        with pytest.raises(ValueError):
+            HttpResponse(url="http://a.com/x", status=302)
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            HttpResponse(url="http://a.com/x", status=99)
+
+    def test_is_redirect(self):
+        r = HttpResponse(url="http://a.com/x", status=301, location="http://b.com/")
+        assert r.is_redirect
+        assert not HttpResponse(url="http://a.com/x", status=200).is_redirect
+
+    def test_describe(self):
+        r = HttpResponse(url="u", status=302, location="http://b.com/")
+        assert "302" in r.describe() and "b.com" in r.describe()
+
+
+class _ScriptedOrigin:
+    """An origin server answering from a scripted table."""
+
+    def __init__(self, responses):
+        self.responses = responses  # (address, url) -> response or exception
+
+    def handle(self, address, request, at):
+        result = self.responses[(address, str(request.url))]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+
+def _fetcher(table, origin, max_redirects=10):
+    return Fetcher(table, origin, max_redirects=max_redirects)
+
+
+class TestFetcher:
+    def _simple_web(self):
+        table = DnsTable()
+        table.register(DnsRecord("a.com", "A", T0))
+        table.register(DnsRecord("b.com", "B", T0))
+        return table
+
+    def test_plain_200(self):
+        table = self._simple_web()
+        origin = _ScriptedOrigin(
+            {("A", "http://a.com/x"): HttpResponse(url="http://a.com/x", status=200, body="hi")}
+        )
+        result = _fetcher(table, origin).fetch("http://a.com/x", T1)
+        assert result.outcome is Outcome.HTTP_200
+        assert result.body == "hi"
+        assert not result.redirected
+        assert result.ok
+
+    def test_dns_failure(self):
+        result = _fetcher(DnsTable(), _ScriptedOrigin({})).fetch(
+            "http://gone.com/x", T1
+        )
+        assert result.outcome is Outcome.DNS_FAILURE
+        assert result.final_status is None
+        assert result.chain == ()
+
+    def test_timeout(self):
+        table = self._simple_web()
+        origin = _ScriptedOrigin(
+            {("A", "http://a.com/x"): ConnectionTimeout("a.com")}
+        )
+        result = _fetcher(table, origin).fetch("http://a.com/x", T1)
+        assert result.outcome is Outcome.TIMEOUT
+
+    def test_redirect_followed_cross_host(self):
+        table = self._simple_web()
+        origin = _ScriptedOrigin(
+            {
+                ("A", "http://a.com/x"): HttpResponse(
+                    url="http://a.com/x", status=302, location="http://b.com/y"
+                ),
+                ("B", "http://b.com/y"): HttpResponse(
+                    url="http://b.com/y", status=200, body="done"
+                ),
+            }
+        )
+        result = _fetcher(table, origin).fetch("http://a.com/x", T1)
+        assert result.outcome is Outcome.HTTP_200
+        assert result.initial_status == 302
+        assert result.final_status == 200
+        assert result.final_url == "http://b.com/y"
+        assert result.redirected
+
+    def test_redirect_to_dead_host_is_other(self):
+        table = self._simple_web()
+        origin = _ScriptedOrigin(
+            {
+                ("A", "http://a.com/x"): HttpResponse(
+                    url="http://a.com/x", status=302, location="http://dead.com/"
+                )
+            }
+        )
+        result = _fetcher(table, origin).fetch("http://a.com/x", T1)
+        assert result.outcome is Outcome.OTHER
+        assert result.initial_status == 302
+
+    def test_redirect_loop_is_other(self):
+        table = self._simple_web()
+        origin = _ScriptedOrigin(
+            {
+                ("A", "http://a.com/x"): HttpResponse(
+                    url="http://a.com/x", status=302, location="http://a.com/x"
+                )
+            }
+        )
+        result = _fetcher(table, origin).fetch("http://a.com/x", T1)
+        assert result.outcome is Outcome.OTHER
+        assert result.error == "redirect loop"
+
+    def test_too_many_redirects_is_other(self):
+        table = self._simple_web()
+        responses = {}
+        for i in range(20):
+            responses[("A", f"http://a.com/{i}")] = HttpResponse(
+                url=f"http://a.com/{i}", status=302, location=f"http://a.com/{i+1}"
+            )
+        origin = _ScriptedOrigin(responses)
+        result = _fetcher(table, origin, max_redirects=5).fetch(
+            "http://a.com/0", T1
+        )
+        assert result.outcome is Outcome.OTHER
+        assert "redirects" in (result.error or "")
+
+    def test_malformed_url_is_dns_failure(self):
+        result = _fetcher(DnsTable(), _ScriptedOrigin({})).fetch(
+            "notaurl", T1
+        )
+        assert result.outcome is Outcome.DNS_FAILURE
+
+    def test_fetch_count(self):
+        table = self._simple_web()
+        origin = _ScriptedOrigin(
+            {("A", "http://a.com/x"): HttpResponse(url="http://a.com/x", status=404)}
+        )
+        fetcher = _fetcher(table, origin)
+        fetcher.fetch("http://a.com/x", T1)
+        fetcher.fetch("http://a.com/x", T1)
+        assert fetcher.fetch_count == 2
+
+
+class TestFetchResult:
+    def test_describe_includes_chain(self):
+        result = FetchResult(
+            url="u",
+            outcome=Outcome.HTTP_200,
+            chain=(
+                HttpResponse(url="u", status=301, location="v"),
+                HttpResponse(url="v", status=200),
+            ),
+        )
+        assert "301" in result.describe() and "200" in result.describe()

@@ -1,0 +1,139 @@
+"""Property-based tests for the archive store and CDX layer."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.archive.cdx import CdxApi, CdxQuery, MatchType
+from repro.archive.snapshot import Snapshot
+from repro.archive.store import SnapshotStore
+from repro.clock import SimTime
+
+_leaves = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_hosts = st.sampled_from(
+    ["a.example.com", "b.example.com", "c.example.org"]
+)
+_statuses = st.sampled_from([200, 301, 404, 503])
+_days = st.floats(min_value=0.0, max_value=8000.0, allow_nan=False)
+
+
+@st.composite
+def snapshots(draw):
+    host = draw(_hosts)
+    directory = draw(st.sampled_from(["/x/", "/x/y/", "/z/"]))
+    leaf = draw(_leaves)
+    url = f"http://{host}{directory}{leaf}.html"
+    status = draw(_statuses)
+    location = f"http://{host}/" if status == 301 else None
+    return Snapshot(
+        url=url,
+        captured_at=SimTime(draw(_days)),
+        initial_status=status,
+        redirect_location=location,
+        final_status=200 if status == 301 else status,
+        final_url=url if status != 301 else f"http://{host}/",
+    )
+
+
+class TestStoreProperties:
+    @given(st.lists(snapshots(), max_size=40))
+    @settings(max_examples=60)
+    def test_insertion_order_irrelevant(self, rows):
+        forward = SnapshotStore()
+        backward = SnapshotStore()
+        for row in rows:
+            forward.add(row)
+        for row in reversed(rows):
+            backward.add(row)
+        for url in {row.url for row in rows}:
+            # Captures at the *same instant* keep insertion order (the
+            # real CDX breaks such ties by sub-second timestamp), so
+            # compare as multisets.
+            assert sorted(forward.snapshots(url), key=repr) == sorted(
+                backward.snapshots(url), key=repr
+            )
+        assert forward.all_urls() == backward.all_urls()
+
+    @given(st.lists(snapshots(), max_size=40))
+    @settings(max_examples=60)
+    def test_per_url_rows_sorted(self, rows):
+        store = SnapshotStore()
+        for row in rows:
+            store.add(row)
+        for url in store.all_urls():
+            times = [s.captured_at.days for s in store.snapshots(url)]
+            assert times == sorted(times)
+
+    @given(st.lists(snapshots(), max_size=40), _days)
+    @settings(max_examples=60)
+    def test_before_after_partition(self, rows, cutoff_days):
+        store = SnapshotStore()
+        for row in rows:
+            store.add(row)
+        cutoff = SimTime(cutoff_days)
+        for url in store.all_urls():
+            before = store.snapshots_before(url, cutoff)
+            after = store.snapshots_after(url, cutoff)
+            assert len(before) + len(after) == len(store.snapshots(url))
+            assert all(s.captured_at < cutoff for s in before)
+            assert all(not (s.captured_at < cutoff) for s in after)
+
+    @given(st.lists(snapshots(), max_size=40), _days)
+    @settings(max_examples=60)
+    def test_closest_is_really_closest(self, rows, target_days):
+        store = SnapshotStore()
+        for row in rows:
+            store.add(row)
+        target = SimTime(target_days)
+        for url in store.all_urls():
+            chosen = store.closest_to(url, target)
+            distances = [
+                abs(s.captured_at.days - target.days)
+                for s in store.snapshots(url)
+            ]
+            assert abs(chosen.captured_at.days - target.days) == min(distances)
+
+
+class TestCdxProperties:
+    @given(st.lists(snapshots(), max_size=40))
+    @settings(max_examples=60)
+    def test_scopes_nest(self, rows):
+        store = SnapshotStore()
+        for row in rows:
+            store.add(row)
+        cdx = CdxApi(store)
+        for url in store.all_urls():
+            exact = set(r.url for r in cdx.query(CdxQuery(url=url)))
+            directory = set(
+                r.url
+                for r in cdx.query(
+                    CdxQuery(url=url, match_type=MatchType.DIRECTORY)
+                )
+            )
+            host = set(
+                r.url
+                for r in cdx.query(CdxQuery(url=url, match_type=MatchType.HOST))
+            )
+            domain = set(
+                r.url
+                for r in cdx.query(
+                    CdxQuery(url=url, match_type=MatchType.DOMAIN)
+                )
+            )
+            assert exact <= directory <= host <= domain
+
+    @given(st.lists(snapshots(), max_size=40))
+    @settings(max_examples=40)
+    def test_status_filter_subsets(self, rows):
+        store = SnapshotStore()
+        for row in rows:
+            store.add(row)
+        cdx = CdxApi(store)
+        for url in store.all_urls():
+            all_rows = cdx.query(CdxQuery(url=url, match_type=MatchType.HOST))
+            ok_rows = cdx.query(
+                CdxQuery(url=url, match_type=MatchType.HOST, initial_status=200)
+            )
+            assert set(ok_rows) <= set(all_rows)
+            assert all(r.initial_status == 200 for r in ok_rows)

@@ -1,0 +1,101 @@
+"""Property-based tests for the wikitext layer."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wiki.templates import cite_web, dead_link, month_year
+from repro.wiki.wikitext import (
+    Template,
+    extract_link_refs,
+    parse_templates,
+)
+from repro.clock import SimTime
+
+_param_key = st.text(
+    alphabet=string.ascii_lowercase + "-", min_size=1, max_size=10
+).filter(lambda s: s.strip("-"))
+_param_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " ./:-_", max_size=24
+).map(str.strip)
+_template_name = st.sampled_from(
+    ["cite web", "cite news", "dead link", "webarchive", "infobox thing"]
+)
+_url_leaf = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12)
+
+
+@st.composite
+def templates(draw):
+    name = draw(_template_name)
+    n_params = draw(st.integers(min_value=0, max_value=5))
+    params = []
+    for _ in range(n_params):
+        key = draw(_param_key)
+        value = draw(_param_value)
+        params.append((key, value))
+    return Template(name=name, params=tuple(params))
+
+
+class TestTemplateRoundTrip:
+    @given(templates())
+    @settings(max_examples=150)
+    def test_render_parse_roundtrip(self, template):
+        parsed = parse_templates(template.render())
+        assert len(parsed) == 1
+        out = parsed[0]
+        assert out.normalized_name == template.normalized_name
+        for key, value in template.params:
+            # Last-wins on duplicate keys matches MediaWiki behaviour;
+            # every key must at least resolve to one of its values.
+            candidates = [v for k, v in template.params if k == key]
+            assert out.get(key) in candidates
+
+    @given(st.lists(templates(), min_size=1, max_size=4))
+    @settings(max_examples=60)
+    def test_sibling_templates_all_found(self, items):
+        text = " and ".join(t.render() for t in items)
+        parsed = parse_templates(text)
+        assert len(parsed) == len(items)
+        assert [t.normalized_name for t in parsed] == [
+            t.normalized_name for t in items
+        ]
+
+
+class TestLinkRefProperties:
+    @given(_url_leaf, st.integers(min_value=2004, max_value=2021))
+    @settings(max_examples=80)
+    def test_cite_plus_marking_always_permadead(self, leaf, year):
+        url = f"http://example.org/a/{leaf}.html"
+        at = SimTime.from_ymd(year, 6, 15)
+        text = (
+            "* " + cite_web(url, "t").render()
+            + dead_link(at, "InternetArchiveBot").render()
+        )
+        (ref,) = extract_link_refs(text)
+        assert ref.url == url
+        assert ref.is_permanently_dead
+        assert ref.marked_by == "InternetArchiveBot"
+        # The span must cover exactly the reference plus annotation.
+        assert text[ref.span[0]: ref.span[1]].count("{{") == 2
+
+    @given(st.lists(_url_leaf, min_size=1, max_size=6, unique=True))
+    @settings(max_examples=60)
+    def test_extraction_order_and_count(self, leaves):
+        text = "\n".join(
+            f"* [http://example.org/x/{leaf} ref {i}]"
+            for i, leaf in enumerate(leaves)
+        )
+        refs = extract_link_refs(text)
+        assert [r.url for r in refs] == [
+            f"http://example.org/x/{leaf}" for leaf in leaves
+        ]
+
+    @given(st.integers(min_value=2004, max_value=2022), st.integers(min_value=1, max_value=12))
+    def test_month_year_stable(self, year, month):
+        stamp = month_year(SimTime.from_ymd(year, month, 3))
+        assert str(year) in stamp
+        assert stamp.split()[0] in (
+            "January", "February", "March", "April", "May", "June", "July",
+            "August", "September", "October", "November", "December",
+        )

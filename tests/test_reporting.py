@@ -1,0 +1,129 @@
+"""Tests for repro.reporting."""
+
+import pytest
+
+from repro.reporting.cdf import Ecdf, ecdf
+from repro.reporting.figures import render_bar_chart, render_cdf
+from repro.reporting.summary import ComparisonRow, ComparisonTable
+from repro.reporting.tables import render_table
+
+
+class TestEcdf:
+    def test_at(self):
+        curve = ecdf([1, 2, 3, 4])
+        assert curve.at(0) == 0.0
+        assert curve.at(2) == 0.5
+        assert curve.at(4) == 1.0
+        assert curve.at(100) == 1.0
+
+    def test_ties(self):
+        curve = ecdf([1, 1, 1, 5])
+        assert curve.at(1) == 0.75
+
+    def test_unsorted_input_rejected_on_type(self):
+        with pytest.raises(ValueError):
+            Ecdf(values=(3.0, 1.0))
+
+    def test_quantiles(self):
+        curve = ecdf(list(range(1, 101)))
+        assert curve.quantile(0.5) == 50
+        assert curve.quantile(0.0) == 1
+        assert curve.quantile(1.0) == 100
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            ecdf([1]).quantile(1.5)
+        with pytest.raises(ValueError):
+            ecdf([]).quantile(0.5)
+
+    def test_empty_at(self):
+        assert ecdf([]).at(3) == 0.0
+
+    def test_series_monotone(self):
+        curve = ecdf([5, 1, 9, 3, 7, 2])
+        pairs = curve.series(points=4)
+        ys = [y for _, y in pairs]
+        assert ys == sorted(ys)
+        assert pairs[-1][1] == 1.0
+
+    def test_ks_distance_identical(self):
+        a = ecdf([1, 2, 3])
+        assert a.ks_distance(a) == 0.0
+
+    def test_ks_distance_disjoint(self):
+        assert ecdf([1, 2]).ks_distance(ecdf([10, 20])) == 1.0
+
+    def test_ks_distance_similar_samples_small(self):
+        import random
+
+        rng = random.Random(5)
+        a = ecdf([rng.gauss(0, 1) for _ in range(800)])
+        b = ecdf([rng.gauss(0, 1) for _ in range(800)])
+        assert a.ks_distance(b) < 0.1
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(
+            headers=["name", "count"],
+            rows=[["alpha", 1], ["b", 22]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in out and "22" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(headers=["a"], rows=[[1, 2]])
+
+    def test_float_formatting(self):
+        out = render_table(headers=["x"], rows=[[3.14159]])
+        assert "3.1" in out and "3.14159" not in out
+
+
+class TestFigures:
+    def test_render_cdf_log_axis(self):
+        out = render_cdf(
+            {"dataset": ecdf([1, 10, 100, 1000])},
+            title="Fig",
+            x_label="days",
+            log_x=True,
+        )
+        assert "Fig" in out
+        assert "1,000" in out
+
+    def test_render_cdf_empty(self):
+        assert "(no data)" in render_cdf({"x": ecdf([])}, "T", "v")
+
+    def test_render_bar_chart(self):
+        out = render_bar_chart({"404": 40, "200": 10}, title="Fig 4")
+        assert "404" in out and "#" in out
+        lines = out.splitlines()
+        assert len(lines) == 3
+
+    def test_render_bar_chart_empty(self):
+        assert "(no data)" in render_bar_chart({}, "T")
+
+
+class TestComparison:
+    def test_within_band(self):
+        row = ComparisonRow(name="x", paper=10.0, measured=12.0, tolerance=0.5)
+        assert row.within_band
+        assert row.ratio == pytest.approx(1.2)
+
+    def test_outside_band(self):
+        row = ComparisonRow(name="x", paper=10.0, measured=30.0, tolerance=0.5)
+        assert not row.within_band
+
+    def test_zero_paper_value(self):
+        assert ComparisonRow(name="x", paper=0.0, measured=0.0).within_band
+
+    def test_table_failures(self):
+        table = ComparisonTable(title="T")
+        table.add("good", paper=10, measured=11)
+        table.add("bad", paper=10, measured=100)
+        assert not table.all_within_band
+        assert [row.name for row in table.failures()] == ["bad"]
+        rendered = table.render()
+        assert "OFF" in rendered and "ok" in rendered

@@ -1,0 +1,71 @@
+"""Tests for the ASCII plot and Markdown report renderers."""
+
+from repro.reporting.cdf import ecdf
+from repro.reporting.plot import ascii_cdf_plot
+from repro.reporting.report import render_markdown_report
+
+
+class TestAsciiPlot:
+    def test_basic_shape(self):
+        out = ascii_cdf_plot(
+            {"a": ecdf([1, 2, 3, 4, 5])}, "T", "x", width=40, height=10
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("*" in line for line in lines)
+        assert any(line.startswith("1.00") for line in lines)
+        assert any(line.startswith("0.00") for line in lines)
+
+    def test_log_axis(self):
+        out = ascii_cdf_plot(
+            {"a": ecdf([1, 10, 100, 1000])}, "T", "days", log_x=True
+        )
+        assert "(log scale)" in out
+
+    def test_two_series_distinct_markers(self):
+        out = ascii_cdf_plot(
+            {"a": ecdf([1, 2, 3]), "b": ecdf([2, 3, 4])}, "T", "x"
+        )
+        assert "* a" in out and "o b" in out
+
+    def test_empty(self):
+        assert "(no data)" in ascii_cdf_plot({"a": ecdf([])}, "T", "x")
+
+    def test_monotone_curve(self):
+        # In every column, the plotted marker for a CDF never moves
+        # down as x grows: find marker row per column and check.
+        out = ascii_cdf_plot(
+            {"a": ecdf(list(range(100)))}, "T", "x", width=30, height=12
+        )
+        rows = [line[6:] for line in out.splitlines()[1:13]]
+        marker_row = {}
+        for row_index, row in enumerate(rows):
+            for col, char in enumerate(row):
+                if char == "*" and col not in marker_row:
+                    marker_row[col] = row_index
+        cols = sorted(marker_row)
+        values = [marker_row[c] for c in cols]
+        assert values == sorted(values, reverse=True)
+
+
+class TestMarkdownReport:
+    def test_full_render(self, small_report):
+        doc = render_markdown_report(small_report, title="Small-world study")
+        assert doc.startswith("# Small-world study")
+        for heading in (
+            "## Dataset",
+            "## Figure 3",
+            "## Figure 4",
+            "## §3",
+            "## §4",
+            "## §5",
+            "## Paper vs measured",
+        ):
+            assert heading in doc
+        assert "```" in doc
+        assert "Figure 5" in doc and "Figure 6" in doc
+
+    def test_counts_consistent(self, small_report):
+        doc = render_markdown_report(small_report)
+        assert f"**{small_report.sample_size}**" in doc
+        assert f"**{small_report.n_final_200}**" in doc

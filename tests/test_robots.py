@@ -1,0 +1,151 @@
+"""Tests for robots.txt support across web, crawler, and builder."""
+
+import pytest
+
+from repro.archive.crawler import ArchiveCrawler
+from repro.archive.store import SnapshotStore
+from repro.clock import SimTime
+from repro.web.page import Page
+from repro.web.robots import RobotsRules, parse_robots
+from repro.web.site import Site
+from repro.web.world import LiveWeb
+
+T2005 = SimTime.from_ymd(2005, 1, 1)
+T2008 = SimTime.from_ymd(2008, 1, 1)
+T2012 = SimTime.from_ymd(2012, 1, 1)
+
+
+class TestRobotsRules:
+    def test_empty_allows_everything(self):
+        assert RobotsRules().allows("/anything")
+        assert not RobotsRules().restricts_anything
+
+    def test_disallow_prefix(self):
+        rules = RobotsRules(disallow=("/private/",))
+        assert not rules.allows("/private/page.html")
+        assert rules.allows("/public/page.html")
+
+    def test_allow_overrides_longer_match(self):
+        rules = RobotsRules(disallow=("/a/",), allow=("/a/open/",))
+        assert not rules.allows("/a/x.html")
+        assert rules.allows("/a/open/x.html")
+
+    def test_prefix_validation(self):
+        with pytest.raises(ValueError):
+            RobotsRules(disallow=("private",))
+
+    def test_render_parse_roundtrip(self):
+        rules = RobotsRules(disallow=("/scripts/", "/tmp/"), allow=("/scripts/ok/",))
+        parsed = parse_robots(rules.render())
+        assert parsed == rules
+
+
+class TestParseRobots:
+    def test_basic(self):
+        rules = parse_robots("User-agent: *\nDisallow: /cgi-bin/\n")
+        assert rules.disallow == ("/cgi-bin/",)
+
+    def test_comments_and_blank_lines(self):
+        rules = parse_robots(
+            "# header\n\nUser-agent: *\nDisallow: /a/  # trailing\n"
+        )
+        assert rules.disallow == ("/a/",)
+
+    def test_other_agent_groups_ignored(self):
+        rules = parse_robots(
+            "User-agent: SpecialBot\nDisallow: /x/\n"
+            "User-agent: *\nDisallow: /y/\n"
+        )
+        assert rules.disallow == ("/y/",)
+
+    def test_empty_disallow_means_open(self):
+        rules = parse_robots("User-agent: *\nDisallow:\n")
+        assert rules.allows("/anything")
+
+    def test_garbage_tolerated(self):
+        rules = parse_robots("this is word soup not a robots file at all")
+        assert rules == RobotsRules()
+
+
+def _robots_web() -> LiveWeb:
+    web = LiveWeb()
+    site = Site(
+        hostname="r.example.com",
+        seed="robots",
+        created_at=T2005,
+        robots=RobotsRules(disallow=("/secret/",)),
+    )
+    site.add_page(Page(path_query="/secret/page.html", created_at=T2008))
+    site.add_page(Page(path_query="/open/page.html", created_at=T2008))
+    web.add_site(site)
+    return web
+
+
+class TestServing:
+    def test_robots_txt_served(self):
+        web = _robots_web()
+        result = web.fetch("http://r.example.com/robots.txt", T2012)
+        assert result.final_status == 200
+        assert "Disallow: /secret/" in result.body
+
+    def test_disallowed_page_still_reachable_by_browsers(self):
+        # robots.txt restricts crawlers, not users.
+        web = _robots_web()
+        result = web.fetch("http://r.example.com/secret/page.html", T2012)
+        assert result.final_status == 200
+
+
+class TestCrawlerHonoursRobots:
+    def test_disallowed_path_not_captured(self):
+        web = _robots_web()
+        store = SnapshotStore()
+        crawler = ArchiveCrawler(web.fetcher(), store)
+        assert crawler.capture("http://r.example.com/secret/page.html", T2012) is None
+        assert crawler.robots_denied == 1
+        assert len(store) == 0
+
+    def test_allowed_path_captured(self):
+        web = _robots_web()
+        crawler = ArchiveCrawler(web.fetcher(), SnapshotStore())
+        snap = crawler.capture("http://r.example.com/open/page.html", T2012)
+        assert snap is not None and snap.initial_status == 200
+
+    def test_robots_cache_reused(self):
+        web = _robots_web()
+        fetcher = web.fetcher()
+        crawler = ArchiveCrawler(fetcher, SnapshotStore())
+        crawler.capture("http://r.example.com/open/page.html", T2012)
+        before = fetcher.fetch_count
+        crawler.capture("http://r.example.com/open/other.html", T2012.plus_days(1))
+        # One robots fetch total: the second capture reuses the cache.
+        assert fetcher.fetch_count == before + 1
+
+    def test_honor_robots_off(self):
+        web = _robots_web()
+        crawler = ArchiveCrawler(web.fetcher(), SnapshotStore(), honor_robots=False)
+        snap = crawler.capture("http://r.example.com/secret/page.html", T2012)
+        assert snap is not None
+
+    def test_missing_robots_allows(self, micro_web):
+        crawler = ArchiveCrawler(micro_web.fetcher(), SnapshotStore())
+        snap = crawler.capture("http://news.example.com/stays/alive.html", T2012)
+        assert snap is not None
+
+
+class TestBuilderAssignsRobots:
+    def test_isolated_query_dirs_disallowed(self, small_world):
+        from repro.dataset.planner import Disposition
+        from repro.urls.parse import parse_url
+
+        found_one = False
+        for url, truth in small_world.truth.items():
+            if truth.disposition is not Disposition.QUERY_DEEP:
+                continue
+            site = small_world.web.site_by_hostname(truth.hostname)
+            if site is None or not site.robots.restricts_anything:
+                continue
+            path = parse_url(url).path
+            if not site.robots.allows(path):
+                found_one = True
+                break
+        assert found_one

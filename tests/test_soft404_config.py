@@ -1,0 +1,99 @@
+"""Additional soft-404 detector behaviour tests."""
+
+from repro.analysis.soft404 import Soft404Detector
+from repro.clock import SimTime
+from repro.rng import Stream
+from repro.web.behaviors import MissingPagePolicy, SiteState
+from repro.web.page import Page
+from repro.web.site import Site
+from repro.web.world import LiveWeb
+
+T2005 = SimTime.from_ymd(2005, 1, 1)
+T2008 = SimTime.from_ymd(2008, 1, 1)
+T2022 = SimTime.from_ymd(2022, 3, 15)
+
+
+def _web(policy=MissingPagePolicy.HARD_404, offsite=None) -> LiveWeb:
+    web = LiveWeb()
+    site = Site(
+        hostname="d.example.com",
+        seed="det",
+        created_at=T2005,
+        missing_policy=policy,
+        offsite_redirect_target=offsite,
+    )
+    site.add_page(Page(path_query="/real/live.html", created_at=T2008))
+    web.add_site(site)
+    return web
+
+
+class TestDetectorConfiguration:
+    def test_threshold_is_configurable(self):
+        web = _web(policy=MissingPagePolicy.SOFT_404)
+        # A threshold above 1.0 can never fire the similarity rule, so
+        # the soft-404 goes undetected — proving the rule is live.
+        lax = Soft404Detector(web.fetcher(), Stream(1), threshold=1.01)
+        verdict = lax.check("http://d.example.com/real/gone.html", T2022)
+        assert verdict.genuinely_alive
+
+    def test_verdict_carries_probe_url(self):
+        web = _web()
+        detector = Soft404Detector(web.fetcher(), Stream(2))
+        verdict = detector.check("http://d.example.com/real/live.html", T2022)
+        assert verdict.probe_url.startswith("http://d.example.com/real/")
+        assert verdict.probe_url != verdict.url
+
+    def test_login_redirect_exempted_from_rule_one(self):
+        web = _web(policy=MissingPagePolicy.REDIRECT_LOGIN)
+        detector = Soft404Detector(web.fetcher(), Stream(3))
+        verdict = detector.check("http://d.example.com/real/gone.html", T2022)
+        # Rule 1 (same redirect target) must NOT fire on a login wall;
+        # rule 2 (identical login bodies) still catches it.
+        assert verdict.broken
+        assert "similar" in verdict.reason
+
+    def test_offsite_redirect_detected(self):
+        web = _web()
+        target_site = Site(
+            hostname="agg.example.net", seed="agg", created_at=T2005
+        )
+        web.add_site(target_site)
+        offsite_web = LiveWeb()
+        site = Site(
+            hostname="sold.example.com",
+            seed="sold",
+            created_at=T2005,
+            missing_policy=MissingPagePolicy.REDIRECT_OFFSITE,
+            offsite_redirect_target="http://agg.example.net/",
+        )
+        offsite_web.add_site(site)
+        offsite_web.add_site(
+            Site(hostname="agg.example.net", seed="agg2", created_at=T2005)
+        )
+        detector = Soft404Detector(offsite_web.fetcher(), Stream(4))
+        verdict = detector.check("http://sold.example.com/old/page.html", T2022)
+        assert verdict.broken
+        assert "same redirect target" in verdict.reason
+
+    def test_parked_after_dns_reregistration(self):
+        web = LiveWeb()
+        original = Site(
+            hostname="p.example.com",
+            seed="orig",
+            created_at=T2005,
+            dns_dies_at=SimTime.from_ymd(2015, 1, 1),
+        )
+        web.add_site(original)
+        web.add_parked_successor(
+            original,
+            Site(
+                hostname="p.example.com",
+                seed="squat",
+                created_at=SimTime.from_ymd(2018, 1, 1),
+                state=SiteState(parked_from=SimTime.from_ymd(2018, 1, 1)),
+            ),
+        )
+        detector = Soft404Detector(web.fetcher(), Stream(5))
+        verdict = detector.check("http://p.example.com/whatever.html", T2022)
+        assert verdict.broken
+        assert verdict.similarity is not None and verdict.similarity > 0.99

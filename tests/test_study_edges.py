@@ -1,0 +1,62 @@
+"""Edge-case tests for the Study orchestrator."""
+
+from repro.analysis.study import Study, StudyReport
+from repro.archive.cdx import CdxApi
+from repro.archive.store import SnapshotStore
+from repro.clock import STUDY_TIME, SimTime
+from repro.dataset.records import LinkRecord
+from repro.net.dns import DnsTable
+from repro.net.fetch import Fetcher
+from repro.wiki.templates import IABOT_USERNAME
+
+
+class _EmptyOrigin:
+    def handle(self, address, request, at):  # pragma: no cover - never called
+        raise AssertionError("no sites exist")
+
+
+def _study(records) -> Study:
+    return Study(
+        records=records,
+        fetcher=Fetcher(DnsTable(), _EmptyOrigin()),
+        cdx=CdxApi(SnapshotStore()),
+        at=STUDY_TIME,
+    )
+
+
+class TestEmptyStudy:
+    def test_zero_records(self):
+        report = _study([]).run()
+        assert report.sample_size == 0
+        assert sum(report.counts.values()) == 0
+        assert report.frac_final_200 == 0.0
+        assert report.frac_genuinely_alive == 0.0
+        assert report.n_never_archived == 0
+        assert report.summary()  # renders without dividing by zero
+
+    def test_single_unresolvable_link(self):
+        record = LinkRecord(
+            url="http://gone.example.org/x",
+            article_title="T",
+            posted_at=SimTime.from_ymd(2010, 1, 1),
+            marked_at=SimTime.from_ymd(2016, 1, 1),
+            marked_by=IABOT_USERNAME,
+        )
+        report = _study([record]).run()
+        assert report.sample_size == 1
+        assert report.n_never_archived == 1
+        assert report.n_rest == 1
+        assert len(report.spatial.records) == 1
+        assert report.spatial.records[0].hostname_gap
+
+    def test_report_fractions_never_divide_by_zero(self):
+        report = _study([]).run()
+        # Every derived fraction must be well-defined on empty data.
+        assert report.frac_alive_via_redirect == 0.0
+        assert report.frac_first_post_marking_erroneous == 0.0
+        assert report.frac_pre_marking_200 == 0.0
+        assert report.frac_patchable_via_redirect == 0.0
+
+    def test_report_is_plain_dataclass(self):
+        report = _study([]).run()
+        assert isinstance(report, StudyReport)

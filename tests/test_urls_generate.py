@@ -1,0 +1,91 @@
+"""Tests for repro.urls.generate."""
+
+from repro.rng import Stream
+from repro.urls.editdist import edit_distance
+from repro.urls.generate import UrlFactory
+from repro.urls.parse import parse_url
+from repro.urls.psl import registrable_domain
+
+
+def factory(seed: int = 1) -> UrlFactory:
+    return UrlFactory(Stream(seed))
+
+
+class TestHostnames:
+    def test_hostnames_unique_per_registered_domain(self):
+        f = factory()
+        hosts = [f.hostname() for _ in range(300)]
+        domains = [registrable_domain(h) for h in hosts]
+        assert len(set(domains)) == len(domains)
+
+    def test_hostnames_parse(self):
+        f = factory(2)
+        for _ in range(50):
+            host = f.hostname()
+            assert parse_url(f"http://{host}/").host_lower == host.lower()
+
+    def test_sibling_hostname_differs(self):
+        f = factory(3)
+        host = f.hostname()
+        sibling = f.sibling_hostname(host)
+        assert sibling != host
+        assert registrable_domain(sibling) == registrable_domain(host)
+
+
+class TestPaths:
+    def test_directory_slash_terminated(self):
+        f = factory(4)
+        for _ in range(30):
+            d = f.directory()
+            assert d.startswith("/") and d.endswith("/")
+
+    def test_leaf_styles(self):
+        f = factory(5)
+        numeric = f.leaf(style="numeric")
+        assert numeric.endswith(".htm")
+        assert numeric[:-4].isdigit()
+        asp = f.leaf(style="asp")
+        assert "." in asp
+
+    def test_query_string_param_count(self):
+        f = factory(6)
+        qs = f.query_string(params=4)
+        assert qs.count("=") == 4
+        assert qs.count("&") == 3
+
+
+class TestTypos:
+    def test_typo_is_distance_one(self):
+        f = factory(7)
+        url = parse_url("http://www.example.com/news/2011/story.html")
+        for _ in range(50):
+            mangled = f.typo(url)
+            assert edit_distance(str(url), str(mangled)) == 1
+
+    def test_typo_keeps_hostname(self):
+        f = factory(8)
+        url = parse_url("http://www.example.com/news/story.html?id=5")
+        for _ in range(30):
+            assert f.typo(url).hostname == url.hostname
+
+    def test_typo_parses(self):
+        f = factory(9)
+        url = parse_url("http://www.example.com/a/b.html")
+        for _ in range(30):
+            parse_url(str(f.typo(url)))  # must not raise
+
+
+class TestRandomLeafProbe:
+    def test_probe_in_same_directory(self):
+        f = factory(10)
+        url = parse_url("http://e.com/a/b/story.html")
+        probe = f.random_leaf_probe(url)
+        assert probe.directory == url.directory
+        assert len(probe.leaf) == 25
+
+    def test_probe_replaces_query_too(self):
+        f = factory(11)
+        url = parse_url("http://e.com/a/view.asp?id=7&x=2")
+        probe = f.random_leaf_probe(url)
+        assert probe.query == ""
+        assert probe.path.startswith("/a/")
