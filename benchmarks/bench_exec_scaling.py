@@ -1,0 +1,78 @@
+"""T-exec — sharded-executor scaling: study stage wall time vs workers.
+
+Runs the per-record stage (§3 probe + §4 census + §4.2 validation)
+over a slice of the benchmark sample at several worker counts and
+prints each run's :class:`~repro.exec.StudyStats`. Every run must
+produce the identical report — the speedup is free of result drift by
+construction — so the assertion here is equivalence, and the timing
+table is informational (a 1-CPU CI box will legitimately show none).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.study import Study, StudyReport
+from repro.exec import StudyExecutor
+from repro.reporting.tables import render_table
+
+#: Records per run: enough to amortise pool start-up, small enough to
+#: keep three runs inside a benchmark session.
+SLICE = 1200
+WORKER_COUNTS = (1, 2, 4)
+
+#: Reports from earlier parametrizations, for cross-count equivalence.
+_runs: dict[int, StudyReport] = {}
+
+
+@pytest.fixture(scope="module")
+def base_study(world):
+    """One collected study; each run re-wraps its (read-only) pieces."""
+    return Study.from_world(world)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_exec_scaling(benchmark, base_study, workers):
+    records = base_study.records[:SLICE]
+
+    def run() -> StudyReport:
+        # Fresh Study per run: RNG streams advance during a run, and
+        # every run must start from the same seeded state.
+        study = Study(
+            records=records,
+            fetcher=base_study.fetcher,
+            cdx=base_study.cdx,
+            at=base_study.at,
+        )
+        return study.run(executor=StudyExecutor(workers=workers))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    _runs[workers] = report
+
+    print()
+    print(f"-- {workers} worker(s) over {len(records)} records --")
+    print(report.stats.summary())
+    if workers != 1 and 1 in _runs:
+        serial = _runs[1]
+        assert report == serial, "parallel report diverged from serial"
+        rows = [
+            [
+                w,
+                r.stats.shards,
+                r.stats.phase_seconds.get("probe+census", 0.0),
+                (
+                    serial.stats.phase_seconds.get("probe+census", 0.0)
+                    / max(r.stats.phase_seconds.get("probe+census", 1e-9), 1e-9)
+                ),
+            ]
+            for w, r in sorted(_runs.items())
+        ]
+        print(
+            render_table(
+                headers=["workers", "shards", "stage seconds", "speedup"],
+                rows=rows,
+                title="executor scaling (probe+census stage)",
+            )
+        )
+    assert report.sample_size == len(records)
+    assert report.stats.cdx_cache_hit_rate > 0.0

@@ -2,14 +2,20 @@
 
 Used to produce the paper-vs-measured record in EXPERIMENTS.md.
 
-Usage: python scripts/full_run.py [n_links] [seed]
+Usage: python scripts/full_run.py [n_links] [seed] [workers]
+
+``workers`` (or the ``REPRO_WORKERS`` environment variable) shards the
+per-record stage across that many processes; the report is identical
+at any worker count, only the attached StudyStats differ.
 """
 
+import os
 import sys
 import time
 
 from repro.analysis.study import Study
 from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.exec import StudyExecutor
 from repro.net.status import Outcome
 from repro.reporting.cdf import ecdf
 from repro.reporting.figures import render_bar_chart, render_cdf
@@ -17,16 +23,23 @@ from repro.reporting.summary import ComparisonTable
 
 n_links = int(sys.argv[1]) if len(sys.argv) > 1 else 26_000
 seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+workers = (
+    int(sys.argv[3])
+    if len(sys.argv) > 3
+    else int(os.environ.get("REPRO_WORKERS", "1"))
+)
 
 t0 = time.time()
 world = generate_world(WorldConfig(n_links=n_links, target_sample=10_000, seed=seed))
 t1 = time.time()
-report = Study.from_world(world).run()
+report = Study.from_world(world).run(executor=StudyExecutor(workers=workers))
 t2 = time.time()
 
 n = report.sample_size
 print(f"# world: {world.summary()}")
 print(f"# generation {t1 - t0:.0f}s, study {t2 - t1:.0f}s")
+for line in report.stats.summary().splitlines():
+    print(f"# {line}")
 print()
 print(report.summary())
 print()

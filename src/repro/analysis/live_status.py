@@ -49,8 +49,13 @@ def classify_links(
 
 
 def outcome_counts(probes: list[LiveProbe]) -> dict[Outcome, int]:
-    """Figure 4's bar heights, in presentation order."""
+    """Figure 4's bar heights, in presentation order.
+
+    Outcomes outside :data:`FIGURE4_ORDER` (a future sixth bucket, a
+    probe recorded by an older taxonomy) are appended after the
+    presentation-ordered five rather than crashing the whole report.
+    """
     counts = {outcome: 0 for outcome in FIGURE4_ORDER}
     for probe in probes:
-        counts[probe.outcome] += 1
+        counts[probe.outcome] = counts.get(probe.outcome, 0) + 1
     return counts

@@ -6,6 +6,14 @@ carrying every headline number and every figure series. The pipeline
 only touches public interfaces — live-web fetches, the Availability
 and CDX APIs, article wikitext and histories — never the world
 generator's ground truth.
+
+Execution is delegated to a :class:`~repro.exec.StudyExecutor`: the
+per-record stages (§3 probe, §4 census, §4.2 redirect validation) run
+sharded — in-process by default, across worker processes on request —
+behind memoizing CDX/fetch caches, and every run attaches a
+:class:`~repro.exec.StudyStats` with phase timings and cache hit
+rates. Results are merged in record order, so a seeded run produces a
+byte-identical report at any worker count.
 """
 
 from __future__ import annotations
@@ -17,21 +25,26 @@ from ..clock import SimTime
 from ..dataset.collector import Collector
 from ..dataset.records import Dataset, LinkRecord
 from ..dataset.sampler import sample_iabot_marked
+from ..exec import (
+    MAX_REDIRECT_COPIES_PER_LINK,
+    StudyExecutor,
+    StudyStats,
+)
 from ..net.fetch import Fetcher
 from ..net.status import Outcome
 from ..rng import RngRegistry
-from .archived_soft404 import archived_copy_erroneous
-from .copies import CopyCensus, census_links
-from .live_status import LiveProbe, classify_links, outcome_counts
-from .redirects import RedirectValidator
+from .copies import CopyCensus
+from .live_status import LiveProbe, outcome_counts
 from .soft404 import Soft404Detector, Soft404Verdict
 from .spatial import SpatialReport, spatial_analysis
 from .temporal import TemporalReport, temporal_analysis
 from .typos import TypoReport, find_typos
 
-#: How many 3xx copies per link to cross-examine before concluding no
-#: valid redirect copy exists (keeps §4.2 cost bounded per link).
-MAX_REDIRECT_COPIES_PER_LINK = 8
+__all__ = [
+    "MAX_REDIRECT_COPIES_PER_LINK",
+    "Study",
+    "StudyReport",
+]
 
 
 @dataclass
@@ -61,6 +74,11 @@ class StudyReport:
     n_never_archived: int = 0
     n_rest_with_pre_3xx: int = 0
     n_valid_redirect_copy: int = 0
+
+    #: Execution accounting for the run that produced this report.
+    #: Excluded from equality: two runs of the same seeded study are
+    #: the same *measurement* whatever their wall times were.
+    stats: StudyStats | None = field(default=None, compare=False)
 
     @property
     def sample_size(self) -> int:
@@ -187,53 +205,71 @@ class Study:
             rngs=RngRegistry(seed),
         )
 
-    def run(self) -> StudyReport:
-        """Execute §3, §4, and §5 and assemble the report."""
+    def run(self, executor: StudyExecutor | None = None) -> StudyReport:
+        """Execute §3, §4, and §5 and assemble the report.
+
+        ``executor`` controls sharding; the default runs in-process.
+        Any worker count yields the same report — only the attached
+        :class:`~repro.exec.StudyStats` differs.
+        """
+        executor = executor if executor is not None else StudyExecutor(workers=1)
+        stats = StudyStats(workers=executor.resolved_workers)
         dataset = Dataset(records=list(self.records), description="our dataset")
 
-        # §3: live status.
-        probes = classify_links(self.records, self.fetcher, self.at)
+        # §3 probe + §4 census + §4.2 validation: the sharded stage.
+        with stats.phase("probe+census"):
+            stage = executor.execute(
+                self.records, self.fetcher, self.cdx, self.at, stats
+            )
+        stats.shards = stage.shards
+        probes = [outcome.probe for outcome in stage.outcomes]
         counts = outcome_counts(probes)
-        detector = Soft404Detector(self.fetcher, self.rngs.stream("soft404"))
+
+        # §3: soft-404 screening of the 200s. Stays in the parent —
+        # the detector consumes a sequential RNG stream, so probing in
+        # record order is what keeps seeded runs reproducible.
+        detector = Soft404Detector(stage.fetcher, self.rngs.stream("soft404"))
         verdicts: list[Soft404Verdict] = []
         alive_probes: list[LiveProbe] = []
-        for probe in probes:
-            if not probe.returned_200:
-                continue
-            verdict = detector.check(probe.record.url, self.at)
-            verdicts.append(verdict)
-            if verdict.genuinely_alive:
-                alive_probes.append(probe)
+        with stats.phase("soft404"):
+            for probe in probes:
+                if not probe.returned_200:
+                    continue
+                verdict = detector.check(probe.record.url, self.at)
+                verdicts.append(verdict)
+                if verdict.genuinely_alive:
+                    alive_probes.append(probe)
 
-        # §4: archived-copy census.
-        censuses = census_links(self.records, self.cdx)
+        # §4: archived-copy census splits.
+        censuses = [outcome.census for outcome in stage.outcomes]
         pre200 = [c for c in censuses if c.has_pre_marking_200]
         rest = [c for c in censuses if not c.has_pre_marking_200]
         rest_with_copy = [c for c in rest if c.has_any_copy]
         never_archived = [c for c in rest if not c.has_any_copy]
-
-        validator = RedirectValidator(self.cdx)
-        n_valid_redirect = 0
         rest_with_3xx = [c for c in rest if c.has_pre_marking_3xx]
-        for census in rest_with_3xx:
-            for snapshot in census.pre_marking_3xx[:MAX_REDIRECT_COPIES_PER_LINK]:
-                if validator.validate(snapshot).valid:
-                    n_valid_redirect += 1
-                    break
+        n_valid_redirect = sum(
+            1 for o in stage.outcomes if o.has_valid_redirect_copy
+        )
 
         # §3's single-check justification (needs the census).
         with_post = [c for c in censuses if c.first_post_marking is not None]
         n_post_erroneous = sum(
             1
-            for c in with_post
-            if archived_copy_erroneous(c.first_post_marking, self.cdx)
+            for o in stage.outcomes
+            if o.first_post_marking_erroneous
         )
 
-        # §5.1 temporal + §5.2 spatial/typos.
-        temporal = temporal_analysis(rest_with_copy, self.cdx)
+        # §5.1 temporal + §5.2 spatial/typos, over the seeded caches.
+        with stats.phase("temporal"):
+            temporal = temporal_analysis(rest_with_copy, stage.cdx)
         never_records = [c.record for c in never_archived]
-        spatial = spatial_analysis(never_records, self.cdx)
-        typos = find_typos(never_records, self.cdx)
+        with stats.phase("spatial"):
+            spatial = spatial_analysis(never_records, stage.cdx)
+        with stats.phase("typos"):
+            typos = find_typos(never_records, stage.cdx)
+
+        stats.add_fetch_counts(stage.fetcher.hits, stage.fetcher.misses)
+        stats.add_cdx_counts(stage.cdx.hits, stage.cdx.misses)
 
         return StudyReport(
             dataset=dataset,
@@ -255,4 +291,5 @@ class Study:
             n_never_archived=len(never_archived),
             n_rest_with_pre_3xx=len(rest_with_3xx),
             n_valid_redirect_copy=n_valid_redirect,
+            stats=stats,
         )

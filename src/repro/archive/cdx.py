@@ -112,11 +112,14 @@ class CdxApi:
             domain = default_psl().registrable_domain(parsed.host_lower)
             urls = self._store.urls_in_domain(domain)
         elif request.match_type is MatchType.PREFIX:
-            prefix = parsed.directory
+            # The real CDX server's matchType=prefix matches the query
+            # URL *string* itself — not the query URL's directory,
+            # which would make PREFIX indistinguishable from a
+            # directory-anchored scope.
             urls = tuple(
                 url
                 for url in self._store.urls_on_host(parsed.host_lower)
-                if url.startswith(prefix)
+                if url.startswith(request.url)
             )
         else:
             urls = self._store.urls_on_host(parsed.host_lower)

@@ -1,0 +1,35 @@
+"""Sharded, cached execution of the measurement study.
+
+The paper's pipeline is embarrassingly parallel over its sampled links
+and enormously repetitive in its archive-API traffic. This package
+supplies the three pieces that turn the serial pipeline into a
+production-shaped one without changing a single measured number:
+
+- :class:`StudyExecutor` — shards the record list across processes
+  (or runs in-process for determinism-sensitive tests) and merges
+  results in record order;
+- :class:`CachingCdxApi` / :class:`CachingFetcher` — exact memo caches
+  over the two backends, with hit/miss accounting;
+- :class:`StudyStats` — per-phase wall time plus fetch/query/cache
+  counters, attached to every study report.
+"""
+
+from .cache import CachingCdxApi, CachingFetcher
+from .executor import StageResult, StudyExecutor
+from .stats import StudyStats
+from .worker import (
+    MAX_REDIRECT_COPIES_PER_LINK,
+    RecordOutcome,
+    run_record_stage,
+)
+
+__all__ = [
+    "CachingCdxApi",
+    "CachingFetcher",
+    "MAX_REDIRECT_COPIES_PER_LINK",
+    "RecordOutcome",
+    "StageResult",
+    "StudyExecutor",
+    "StudyStats",
+    "run_record_stage",
+]

@@ -1,0 +1,178 @@
+"""Memoizing wrappers around the study's two expensive backends.
+
+Archive-API query volume dominates the cost of link-rot measurement at
+scale, and the paper's pipeline repeats itself heavily: the §4.2
+sibling-redirect validation and the §5.2 coverage census issue
+directory-, host-, and domain-scoped CDX queries that are identical
+across links sharing a directory, and the §3 soft-404 detector
+re-fetches URLs the live probe already fetched. Both backends are pure
+given their arguments (CDX reads an immutable store; a live-web fetch
+depends only on ``(url, at)``), so memoization is exact — the wrappers
+return the very same tuples the unwrapped backends would.
+
+:class:`CachingCdxApi` additionally *normalizes* scope queries: a
+DIRECTORY / HOST / DOMAIN query is keyed on the derived scope (the
+directory, the hostname, the registrable domain) plus its filters, with
+``exclude_self`` applied as a post-filter. Two links in the same
+directory therefore share one backend query even though their
+``CdxQuery.url`` fields differ — which is exactly where the repetition
+lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..archive.cdx import CdxApi, CdxQuery, MatchType
+from ..archive.snapshot import Snapshot
+from ..clock import SimTime
+from ..net.fetch import Fetcher, FetchResult
+from ..urls.parse import ParsedUrl, parse_url
+from ..urls.psl import default_psl
+
+#: Scopes whose candidate set is independent of the query URL itself.
+_NORMALIZABLE = (MatchType.DIRECTORY, MatchType.HOST, MatchType.DOMAIN)
+
+
+class CachingCdxApi:
+    """Exact memoization over a :class:`~repro.archive.cdx.CdxApi`.
+
+    Presents the same read interface (``query``, ``archived_urls``,
+    ``query_count``), so every analysis accepts it in place of the raw
+    API. ``hits`` / ``misses`` count memo outcomes; each miss is one
+    backend query.
+    """
+
+    def __init__(self, inner: CdxApi) -> None:
+        self._inner = inner
+        self._query_memo: dict[object, tuple[Snapshot, ...]] = {}
+        self._urls_memo: dict[object, tuple[str, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- CdxApi interface --------------------------------------------------------
+
+    @property
+    def query_count(self) -> int:
+        """Logical queries served (memo hits included)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of queries answered from the memo."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def query(self, request: CdxQuery) -> tuple[Snapshot, ...]:
+        """Same rows as the wrapped API, memoized."""
+        base = self._normalize(request)
+        if base is None:
+            return self._memoized_query(request)
+        rows = self._memoized_query(base)
+        if request.exclude_self:
+            rows = tuple(row for row in rows if row.url != request.url)
+        return rows
+
+    def archived_urls(self, request: CdxQuery) -> tuple[str, ...]:
+        """Same collapsed URL list as the wrapped API, memoized."""
+        base = self._normalize(request)
+        if base is None:
+            return self._memoized_urls(request)
+        urls = self._memoized_urls(base)
+        if request.exclude_self:
+            urls = tuple(url for url in urls if url != request.url)
+        return urls
+
+    # -- internals ---------------------------------------------------------------
+
+    def _normalize(self, request: CdxQuery) -> CdxQuery | None:
+        """A URL-independent base query, or None when not sharable.
+
+        Limited queries are never normalized: a limit interacts with
+        the exclusion filter, so only the verbatim request is safe to
+        memoize.
+        """
+        if request.limit or request.match_type not in _NORMALIZABLE:
+            return None
+        parsed = parse_url(request.url)
+        if request.match_type is MatchType.DIRECTORY:
+            scope = parsed.directory
+        elif request.match_type is MatchType.HOST:
+            scope = f"http://{parsed.host_lower}/"
+        else:
+            domain = default_psl().registrable_domain(parsed.host_lower)
+            scope = f"http://{domain}/"
+        # Any URL inside the scope derives the same candidate set, and
+        # the scope's own root URL is one such URL — so it canonically
+        # keys the memo for every link sharing the scope.
+        return replace(request, url=scope, exclude_self=False)
+
+    def _memoized_query(self, request: CdxQuery) -> tuple[Snapshot, ...]:
+        rows = self._query_memo.get(request)
+        if rows is None:
+            self.misses += 1
+            rows = self._inner.query(request)
+            self._query_memo[request] = rows
+        else:
+            self.hits += 1
+        return rows
+
+    def _memoized_urls(self, request: CdxQuery) -> tuple[str, ...]:
+        urls = self._urls_memo.get(request)
+        if urls is None:
+            self.misses += 1
+            urls = self._inner.archived_urls(request)
+            self._urls_memo[request] = urls
+        else:
+            self.hits += 1
+        return urls
+
+
+class CachingFetcher:
+    """Memoization of live-web fetches, keyed on ``(url, at)``.
+
+    A fetch over the simulated web is a pure function of the URL and
+    the instant, so replaying a memoized :class:`FetchResult` is
+    indistinguishable from re-fetching. The §3 soft-404 detector
+    re-fetches every 200-status URL the live probe just fetched; with
+    the memo (optionally pre-seeded from probe results) those duplicate
+    fetches never touch the network.
+    """
+
+    def __init__(self, inner: Fetcher) -> None:
+        self._inner = inner
+        self._memo: dict[tuple[str, float], FetchResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def fetch_count(self) -> int:
+        """Logical fetches served (memo hits included)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of fetches answered from the memo."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def fetch(self, url: str | ParsedUrl, at: SimTime) -> FetchResult:
+        """Same result as the wrapped fetcher, memoized."""
+        key = (str(url), at.days)
+        result = self._memo.get(key)
+        if result is None:
+            self.misses += 1
+            result = self._inner.fetch(url, at)
+            self._memo[key] = result
+        else:
+            self.hits += 1
+        return result
+
+    def seed(self, url: str, at: SimTime, result: FetchResult) -> None:
+        """Pre-populate the memo with an already-observed result.
+
+        Used by the parallel executor to hand worker probe results to
+        the parent process, so follow-up phases hit instead of
+        re-fetching. Seeding counts as neither hit nor miss.
+        """
+        self._memo.setdefault((url, at.days), result)

@@ -1,0 +1,214 @@
+"""Sharded execution of the study's per-record stages.
+
+:class:`StudyExecutor` splits the record list into contiguous shards
+and runs the per-record stage (§3 probe, §4.1 census, §4.2 redirect
+validation, §3 post-marking check) over them — across
+``multiprocessing`` workers when ``workers > 1``, or in-process when
+``workers == 1`` (the deterministic fallback every test can rely on).
+Shard outputs are merged back in record order, so a seeded study run
+produces a byte-identical report whichever way it executed: the stage
+is a pure function of each record, and everything order-sensitive
+(the soft-404 detector's RNG stream, the §5 aggregations) stays in the
+parent process.
+
+The parent also receives each worker's cache counters and a fetch memo
+pre-seeded with every probe result, so follow-up phases (soft-404
+re-fetches) hit the memo instead of the network.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+
+from ..archive.cdx import CdxApi
+from ..clock import SimTime
+from ..dataset.records import LinkRecord
+from ..net.fetch import Fetcher
+from .cache import CachingCdxApi, CachingFetcher
+from .stats import StudyStats
+from .worker import (
+    MAX_REDIRECT_COPIES_PER_LINK,
+    RecordOutcome,
+    ShardResult,
+    WorkerContext,
+    run_shard,
+    set_context,
+)
+
+
+@dataclass
+class StageResult:
+    """Merged output of the sharded stage.
+
+    Attributes:
+        outcomes: one :class:`RecordOutcome` per record, in input order.
+        fetcher: parent-side caching fetcher, pre-seeded with every
+            probe result — later phases should fetch through it.
+        cdx: parent-side caching CDX API for the later phases.
+        shards: how many shards actually ran.
+    """
+
+    outcomes: list[RecordOutcome]
+    fetcher: CachingFetcher
+    cdx: CachingCdxApi
+    shards: int = 1
+
+
+def _default_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+@dataclass
+class StudyExecutor:
+    """Runs the per-record stage, sharded across worker processes.
+
+    Args:
+        workers: worker process count; ``None`` means one per CPU, and
+            ``1`` runs everything in-process (no multiprocessing at
+            all), which is the determinism-sensitive-test configuration.
+        start_method: ``multiprocessing`` start method; ``None`` picks
+            ``fork`` when the platform offers it (workers then inherit
+            the world without pickling it) and the platform default
+            otherwise.
+        max_redirect_copies: per-link bound on §4.2 cross-examinations.
+    """
+
+    workers: int | None = None
+    start_method: str | None = None
+    max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK
+    _last_shards: int = field(default=1, init=False, repr=False)
+
+    @property
+    def resolved_workers(self) -> int:
+        """The concrete worker count this executor will use."""
+        return self.workers if self.workers else _default_workers()
+
+    def execute(
+        self,
+        records: list[LinkRecord],
+        fetcher: Fetcher,
+        cdx: CdxApi,
+        at: SimTime,
+        stats: StudyStats | None = None,
+    ) -> StageResult:
+        """Run the stage over ``records`` and merge in record order.
+
+        ``fetcher`` and ``cdx`` are the *raw* backends; the executor
+        owns the caching. Worker cache counters are folded into
+        ``stats`` immediately; the returned parent-side caches carry
+        their own counters for the phases that follow.
+        """
+        workers = min(self.resolved_workers, max(len(records), 1))
+        parent_fetcher = CachingFetcher(fetcher)
+        parent_cdx = CachingCdxApi(cdx)
+
+        if workers <= 1:
+            outcomes = self._execute_serial(
+                records, parent_fetcher, parent_cdx, at
+            )
+            self._last_shards = 1
+            return StageResult(
+                outcomes=outcomes,
+                fetcher=parent_fetcher,
+                cdx=parent_cdx,
+                shards=1,
+            )
+
+        spans = _shard_spans(len(records), workers)
+        shard_results = self._execute_parallel(
+            records, fetcher, cdx, at, spans, workers
+        )
+        outcomes: list[RecordOutcome] = []
+        for shard in sorted(shard_results, key=lambda s: s.start):
+            outcomes.extend(shard.outcomes)
+            if stats is not None:
+                stats.add_fetch_counts(shard.fetch_hits, shard.fetch_misses)
+                stats.add_cdx_counts(shard.cdx_hits, shard.cdx_misses)
+        for outcome in outcomes:
+            parent_fetcher.seed(
+                outcome.record.url, at, outcome.probe.result
+            )
+        self._last_shards = len(spans)
+        return StageResult(
+            outcomes=outcomes,
+            fetcher=parent_fetcher,
+            cdx=parent_cdx,
+            shards=len(spans),
+        )
+
+    # -- execution paths ---------------------------------------------------------
+
+    def _execute_serial(
+        self,
+        records: list[LinkRecord],
+        fetcher: CachingFetcher,
+        cdx: CachingCdxApi,
+        at: SimTime,
+    ) -> list[RecordOutcome]:
+        from .worker import run_record_stage
+
+        return [
+            run_record_stage(
+                record, fetcher, cdx, at, self.max_redirect_copies
+            )
+            for record in records
+        ]
+
+    def _execute_parallel(
+        self,
+        records: list[LinkRecord],
+        fetcher: Fetcher,
+        cdx: CdxApi,
+        at: SimTime,
+        spans: list[tuple[int, int]],
+        workers: int,
+    ) -> list[ShardResult]:
+        context = WorkerContext(
+            records=records,
+            fetcher=fetcher,
+            cdx=cdx,
+            at=at,
+            max_redirect_copies=self.max_redirect_copies,
+        )
+        method = self.start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else None
+        mp_context = multiprocessing.get_context(method)
+
+        if mp_context.get_start_method() == "fork":
+            # Children inherit the context through the fork; nothing is
+            # pickled except the tiny (start, stop) spans and results.
+            set_context(context)
+            try:
+                with mp_context.Pool(processes=workers) as pool:
+                    return pool.map(run_shard, spans)
+            finally:
+                set_context(None)
+        with mp_context.Pool(
+            processes=workers,
+            initializer=set_context,
+            initargs=(context,),
+        ) as pool:
+            return pool.map(run_shard, spans)
+
+
+def _shard_spans(n_records: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal (start, stop) spans covering the list.
+
+    Contiguity matters: sampled records keep collection order, so links
+    from one directory tend to sit near each other — sharding them
+    together maximises each worker's cache locality.
+    """
+    shards = min(max(shards, 1), max(n_records, 1))
+    base, extra = divmod(n_records, shards)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        if stop > start:
+            spans.append((start, stop))
+        start = stop
+    return spans

@@ -1,0 +1,118 @@
+"""Execution accounting for the study pipeline.
+
+:class:`StudyStats` is the single place where the cost of a study run
+is recorded: wall time per pipeline phase, how many live-web fetches
+and CDX queries the analyses asked for, how many of those the memo
+caches absorbed, and how the work was sharded. Every run of
+:meth:`Study.run <repro.analysis.study.Study.run>` attaches one to its
+report, which is what makes the perf trajectory measurable from PR to
+PR (``scripts/full_run.py`` and the benchmark suite both print it).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+def _rate(hits: int, total: int) -> float:
+    return hits / total if total else 0.0
+
+
+@dataclass
+class StudyStats:
+    """Cost accounting for one study run.
+
+    Attributes:
+        workers: worker processes the executor ran with (1 = serial).
+        shards: number of record shards the stage was split into.
+        phase_seconds: wall time per pipeline phase, in execution order.
+        fetches: live-web ``fetch()`` calls the analyses issued.
+        backend_fetches: fetches that actually hit the simulated
+            network (``fetches - fetch_cache_hits``).
+        fetch_cache_hits: fetches answered from the ``(url, at)`` memo.
+        cdx_queries: CDX queries the analyses issued.
+        backend_cdx_queries: queries that reached the CDX API proper.
+        cdx_cache_hits: queries answered from the query memo.
+    """
+
+    workers: int = 1
+    shards: int = 1
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    fetches: int = 0
+    backend_fetches: int = 0
+    fetch_cache_hits: int = 0
+    cdx_queries: int = 0
+    backend_cdx_queries: int = 0
+    cdx_cache_hits: int = 0
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time one pipeline phase (additive on repeated names)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + elapsed
+            )
+
+    # -- cache counter intake ----------------------------------------------------
+
+    def add_fetch_counts(self, hits: int, misses: int) -> None:
+        """Fold one fetch cache's counters into the totals."""
+        self.fetches += hits + misses
+        self.fetch_cache_hits += hits
+        self.backend_fetches += misses
+
+    def add_cdx_counts(self, hits: int, misses: int) -> None:
+        """Fold one CDX cache's counters into the totals."""
+        self.cdx_queries += hits + misses
+        self.cdx_cache_hits += hits
+        self.backend_cdx_queries += misses
+
+    # -- derived rates -----------------------------------------------------------
+
+    @property
+    def fetch_cache_hit_rate(self) -> float:
+        """Share of fetches served from the memo."""
+        return _rate(self.fetch_cache_hits, self.fetches)
+
+    @property
+    def cdx_cache_hit_rate(self) -> float:
+        """Share of CDX queries served from the memo."""
+        return _rate(self.cdx_cache_hits, self.cdx_queries)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    def summary(self) -> str:
+        """Multi-line digest for logs, full_run, and benchmarks."""
+        phases = "; ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in self.phase_seconds.items()
+        )
+        return "\n".join(
+            [
+                (
+                    f"executor: {self.workers} worker(s), "
+                    f"{self.shards} shard(s), "
+                    f"{self.total_seconds:.2f}s total"
+                ),
+                f"phases: {phases or 'none recorded'}",
+                (
+                    f"fetches: {self.fetches} issued, "
+                    f"{self.backend_fetches} reached the network "
+                    f"(cache hit rate {self.fetch_cache_hit_rate:.1%})"
+                ),
+                (
+                    f"cdx queries: {self.cdx_queries} issued, "
+                    f"{self.backend_cdx_queries} reached the API "
+                    f"(cache hit rate {self.cdx_cache_hit_rate:.1%})"
+                ),
+            ]
+        )

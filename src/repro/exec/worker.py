@@ -1,0 +1,150 @@
+"""The per-record stage of the study, in shard-friendly form.
+
+One record's §3 live probe, §4.1 census, §4.2 redirect validation, and
+§3 first-post-marking-copy check depend only on that record plus the
+(read-only) live web and archive — never on any other record. That
+independence is what lets :class:`~repro.exec.executor.StudyExecutor`
+shard the record list across processes and still merge a byte-identical
+result: this module is the unit of work each shard runs.
+
+Imports reach into ``repro.analysis`` submodules directly (never the
+package namespace) because ``repro.analysis.study`` imports this
+package back; submodule imports keep that cycle inert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.archived_soft404 import archived_copy_erroneous
+from ..analysis.copies import CopyCensus, census_link
+from ..analysis.live_status import LiveProbe
+from ..analysis.redirects import RedirectValidator
+from ..archive.cdx import CdxApi
+from ..clock import SimTime
+from ..dataset.records import LinkRecord
+from ..net.fetch import Fetcher
+from .cache import CachingCdxApi, CachingFetcher
+
+#: How many 3xx copies per link to cross-examine before concluding no
+#: valid redirect copy exists (keeps §4.2 cost bounded per link).
+MAX_REDIRECT_COPIES_PER_LINK = 8
+
+
+@dataclass(frozen=True, slots=True)
+class RecordOutcome:
+    """Everything the study learns about one record, order-free."""
+
+    probe: LiveProbe
+    census: CopyCensus
+    has_valid_redirect_copy: bool
+    first_post_marking_erroneous: bool | None
+
+    @property
+    def record(self) -> LinkRecord:
+        """The record this outcome describes."""
+        return self.probe.record
+
+
+@dataclass(frozen=True, slots=True)
+class ShardResult:
+    """One shard's outcomes plus its cache accounting."""
+
+    start: int
+    outcomes: tuple[RecordOutcome, ...]
+    fetch_hits: int = 0
+    fetch_misses: int = 0
+    cdx_hits: int = 0
+    cdx_misses: int = 0
+
+
+def run_record_stage(
+    record: LinkRecord,
+    fetcher: Fetcher | CachingFetcher,
+    cdx: CdxApi | CachingCdxApi,
+    at: SimTime,
+    max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK,
+) -> RecordOutcome:
+    """Run the sharded portion of the pipeline for one record."""
+    probe = LiveProbe(record=record, result=fetcher.fetch(record.url, at))
+    census = census_link(record, cdx)
+
+    has_valid_redirect = False
+    if not census.has_pre_marking_200 and census.has_pre_marking_3xx:
+        validator = RedirectValidator(cdx)
+        for snapshot in census.pre_marking_3xx[:max_redirect_copies]:
+            if validator.validate(snapshot).valid:
+                has_valid_redirect = True
+                break
+
+    first_post = census.first_post_marking
+    post_erroneous = (
+        archived_copy_erroneous(first_post, cdx)
+        if first_post is not None
+        else None
+    )
+    return RecordOutcome(
+        probe=probe,
+        census=census,
+        has_valid_redirect_copy=has_valid_redirect,
+        first_post_marking_erroneous=post_erroneous,
+    )
+
+
+# -- multiprocessing plumbing ----------------------------------------------------
+
+@dataclass
+class WorkerContext:
+    """Everything a worker process needs to run its shards."""
+
+    records: list[LinkRecord]
+    fetcher: Fetcher
+    cdx: CdxApi
+    at: SimTime
+    max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK
+
+
+#: Per-process context. Under the ``fork`` start method the parent sets
+#: it before creating the pool and children inherit it for free; under
+#: ``spawn``/``forkserver`` the pool initializer ships it once per
+#: worker instead of once per task.
+_CONTEXT: WorkerContext | None = None
+
+
+def set_context(context: WorkerContext | None) -> None:
+    """Install the worker context in this process."""
+    global _CONTEXT
+    _CONTEXT = context
+
+
+def run_shard(span: tuple[int, int]) -> ShardResult:
+    """Run the record stage over ``records[start:stop]`` of the context.
+
+    Each shard gets fresh memo caches: links in one shard share sibling
+    scopes far more often than links across shards, so per-shard caches
+    capture most of the repetition without any cross-process traffic.
+    """
+    context = _CONTEXT
+    if context is None:
+        raise RuntimeError("worker context not initialised")
+    start, stop = span
+    fetcher = CachingFetcher(context.fetcher)
+    cdx = CachingCdxApi(context.cdx)
+    outcomes = tuple(
+        run_record_stage(
+            context.records[index],
+            fetcher,
+            cdx,
+            context.at,
+            context.max_redirect_copies,
+        )
+        for index in range(start, stop)
+    )
+    return ShardResult(
+        start=start,
+        outcomes=outcomes,
+        fetch_hits=fetcher.hits,
+        fetch_misses=fetcher.misses,
+        cdx_hits=cdx.hits,
+        cdx_misses=cdx.misses,
+    )

@@ -8,6 +8,7 @@ and "random sample" series).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -39,11 +40,12 @@ class Ecdf:
             raise ValueError("quantile of an empty Ecdf")
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
-        if q == 0.0:
-            return self.values[0]
-        index = min(int(q * self.n + 1e-9), self.n - 1)
-        if q * self.n == int(q * self.n) and q < 1.0:
-            index = max(int(q * self.n) - 1, 0)
+        # The smallest k with k/n >= q is ceil(q*n) in exact
+        # arithmetic; the follow-up check repairs the one-off case
+        # where q*n rounded up across an integer (e.g. 0.7 * 10).
+        index = min(max(math.ceil(q * self.n) - 1, 0), self.n - 1)
+        if index > 0 and index / self.n >= q:
+            index -= 1
         return self.values[index]
 
     def series(self, points: int = 50) -> list[tuple[float, float]]:

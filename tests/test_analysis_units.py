@@ -97,6 +97,29 @@ class TestLiveStatus:
         assert sum(counts.values()) == 1
         assert len(counts) == 5  # all Figure 4 buckets present
 
+    def test_counts_tolerate_outcomes_outside_figure4(
+        self, micro_web, monkeypatch
+    ):
+        """An outcome missing from FIGURE4_ORDER is counted, not a
+        KeyError (regression: a probe from a future taxonomy used to
+        crash the whole report)."""
+        from repro.analysis import live_status
+
+        probes = classify_links(
+            [record("http://news.example.com/stays/alive.html")],
+            micro_web.fetcher(),
+            T2022,
+        )
+        reduced = tuple(
+            o for o in live_status.FIGURE4_ORDER if o is not Outcome.HTTP_200
+        )
+        monkeypatch.setattr(live_status, "FIGURE4_ORDER", reduced)
+        counts = outcome_counts(probes)
+        assert counts[Outcome.HTTP_200] == 1
+        assert sum(counts.values()) == 1
+        # Presentation-ordered buckets still lead the dict.
+        assert list(counts)[: len(reduced)] == list(reduced)
+
 
 class TestSoft404Detector:
     def _detector(self, web):

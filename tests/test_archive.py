@@ -243,9 +243,49 @@ class TestCdxApi:
 
     def test_prefix_scope(self):
         rows = self._cdx().query(
-            CdxQuery(url="http://site.example.com/news/x", match_type=MatchType.PREFIX)
+            CdxQuery(
+                url="http://site.example.com/news/",
+                match_type=MatchType.PREFIX,
+            )
         )
         assert {row.url for row in rows} == {URL, SIBLING}
+
+    def test_prefix_matches_query_url_string_not_directory(self):
+        """matchType=prefix matches the query URL itself, like the real
+        CDX server — not the query URL's directory.
+
+        Regression: PREFIX used to filter against ``parsed.directory``,
+        returning every same-directory URL regardless of the query
+        string, so a query for ``.../news/story`` wrongly matched
+        ``.../news/other.html``.
+        """
+        cdx = self._cdx()
+        rows = cdx.query(
+            CdxQuery(
+                url="http://site.example.com/news/story",
+                match_type=MatchType.PREFIX,
+            )
+        )
+        assert {row.url for row in rows} == {URL}  # story.html only
+
+        # A URL that is itself a proper prefix of its siblings matches
+        # itself, the sibling leaf, and subdirectory descendants.
+        store = SnapshotStore()
+        short = "http://site.example.com/news/story"
+        longer = "http://site.example.com/news/story.html"
+        nested = "http://site.example.com/news/story/part2.html"
+        unrelated = "http://site.example.com/news/other.html"
+        for url in (short, longer, nested, unrelated):
+            store.add(snap(url=url, at=T2010, status=200))
+        rows = CdxApi(store).query(
+            CdxQuery(url=short, match_type=MatchType.PREFIX)
+        )
+        assert {row.url for row in rows} == {short, longer, nested}
+
+        rows = CdxApi(store).query(
+            CdxQuery(url=short, match_type=MatchType.PREFIX, exclude_self=True)
+        )
+        assert {row.url for row in rows} == {longer, nested}
 
     def test_archived_urls_collapse(self):
         urls = self._cdx().archived_urls(

@@ -1,0 +1,202 @@
+"""Tests for repro.exec: caching backends and the sharded executor.
+
+The cache wrappers must be *exact* — byte-identical answers to the
+unwrapped backends — and the executor must produce the same
+:class:`StudyReport` at any worker count. Both properties are what the
+rest of the suite (and the paper numbers) silently rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.study import Study, StudyReport
+from repro.archive.cdx import CdxQuery, MatchType
+from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.exec import CachingCdxApi, CachingFetcher, StudyExecutor
+from repro.exec.executor import _shard_spans
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    """A very small generated world for executor-level tests."""
+    return generate_world(WorldConfig(n_links=260, target_sample=200, seed=7))
+
+
+def _fresh_study(world) -> Study:
+    # A new Study per run: the soft-404 detector consumes RNG streams,
+    # so reusing one Study across runs would entangle the comparisons.
+    return Study.from_world(world)
+
+
+def assert_reports_identical(a: StudyReport, b: StudyReport) -> None:
+    """Field-for-field equality, ignoring the (wall-time) stats field."""
+    for f in dataclasses.fields(StudyReport):
+        if f.name == "stats":
+            continue
+        assert getattr(a, f.name) == getattr(b, f.name), f.name
+
+
+# -- caching backends --------------------------------------------------------------
+
+
+class TestCachingCdxApi:
+    def _queries(self, study: Study) -> list[CdxQuery]:
+        queries: list[CdxQuery] = []
+        for record in study.records[:40]:
+            for match in MatchType:
+                for exclude in (False, True):
+                    queries.append(
+                        CdxQuery(
+                            url=record.url,
+                            match_type=match,
+                            exclude_self=exclude,
+                        )
+                    )
+            queries.append(
+                CdxQuery(
+                    url=record.url,
+                    match_type=MatchType.DIRECTORY,
+                    initial_status=200,
+                )
+            )
+            queries.append(
+                CdxQuery(url=record.url, match_type=MatchType.HOST, limit=3)
+            )
+        return queries
+
+    def test_identical_to_unwrapped(self, tiny_world):
+        raw = tiny_world.cdx
+        cached = CachingCdxApi(raw)
+        for query in self._queries(_fresh_study(tiny_world)):
+            assert cached.query(query) == raw.query(query), query
+            assert cached.archived_urls(query) == raw.archived_urls(
+                query
+            ), query
+
+    def test_counters_advance_and_absorb_repeats(self, tiny_world):
+        raw = tiny_world.cdx
+        cached = CachingCdxApi(raw)
+        queries = self._queries(_fresh_study(tiny_world))
+        for query in queries:
+            cached.query(query)
+        assert cached.misses > 0
+        # exclude_self variants share a normalized base entry, so the
+        # very first pass already produces hits.
+        assert cached.hits > 0
+        hits_before = cached.hits
+        backend_before = raw.query_count
+        for query in queries:
+            cached.query(query)
+        assert cached.hits == hits_before + len(queries)
+        assert raw.query_count == backend_before
+        assert cached.query_count == 2 * len(queries)
+        assert 0.0 < cached.hit_rate < 1.0
+
+
+class TestCachingFetcher:
+    def test_identical_to_unwrapped(self, tiny_world):
+        study = _fresh_study(tiny_world)
+        raw = tiny_world.fetcher()
+        cached = CachingFetcher(tiny_world.fetcher())
+        for record in study.records[:30]:
+            assert cached.fetch(record.url, study.at) == raw.fetch(
+                record.url, study.at
+            )
+
+    def test_repeat_fetches_hit_the_memo(self, tiny_world):
+        study = _fresh_study(tiny_world)
+        cached = CachingFetcher(tiny_world.fetcher())
+        urls = list(dict.fromkeys(r.url for r in study.records[:30]))
+        first = [cached.fetch(url, study.at) for url in urls]
+        assert cached.hits == 0 and cached.misses == len(urls)
+        again = [cached.fetch(url, study.at) for url in urls]
+        assert again == first
+        assert cached.hits == len(urls)
+        # A different instant is a different key, not a stale answer.
+        later = study.at.plus_days(365)
+        cached.fetch(urls[0], later)
+        assert cached.misses == len(urls) + 1
+
+    def test_seed_preempts_the_backend(self, tiny_world):
+        study = _fresh_study(tiny_world)
+        url = study.records[0].url
+        probe = tiny_world.fetcher().fetch(url, study.at)
+        cached = CachingFetcher(tiny_world.fetcher())
+        cached.seed(url, study.at, probe)
+        assert cached.hits == 0 and cached.misses == 0
+        assert cached.fetch(url, study.at) is probe
+        assert cached.hits == 1 and cached.misses == 0
+
+
+# -- sharding ----------------------------------------------------------------------
+
+
+class TestShardSpans:
+    @pytest.mark.parametrize(
+        "n,shards",
+        [(0, 4), (1, 4), (7, 3), (10, 1), (100, 16), (5, 5), (13, 4)],
+    )
+    def test_contiguous_cover(self, n, shards):
+        spans = _shard_spans(n, shards)
+        covered = [i for start, stop in spans for i in range(start, stop)]
+        assert covered == list(range(n))
+        sizes = [stop - start for start, stop in spans]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+        assert len(spans) <= max(shards, 1)
+
+
+# -- executor equivalence ----------------------------------------------------------
+
+
+class TestExecutorEquivalence:
+    def test_serial_matches_parallel(self, tiny_world):
+        serial = _fresh_study(tiny_world).run()
+        parallel = _fresh_study(tiny_world).run(
+            executor=StudyExecutor(workers=3)
+        )
+        assert serial == parallel
+        assert_reports_identical(serial, parallel)
+        assert parallel.stats.workers == 3
+        assert parallel.stats.shards == 3
+        # The *logical* request volume is execution-shape-independent;
+        # only who answered (memo vs backend) may shift.
+        assert parallel.stats.fetches == serial.stats.fetches
+        assert parallel.stats.cdx_queries == serial.stats.cdx_queries
+
+    def test_stats_attached_and_populated(self, tiny_world):
+        report = _fresh_study(tiny_world).run()
+        stats = report.stats
+        assert stats is not None
+        assert set(stats.phase_seconds) >= {
+            "probe+census",
+            "soft404",
+            "temporal",
+            "spatial",
+            "typos",
+        }
+        assert stats.total_seconds > 0.0
+        assert stats.fetches > 0 and stats.cdx_queries > 0
+        assert stats.backend_fetches <= stats.fetches
+        assert stats.cdx_cache_hit_rate > 0.0
+        assert "cache hit rate" in stats.summary()
+
+    def test_stats_do_not_break_report_equality(self, tiny_world):
+        a = _fresh_study(tiny_world).run()
+        b = _fresh_study(tiny_world).run()
+        assert a.stats is not b.stats
+        assert a.stats.phase_seconds != {} and b.stats.phase_seconds != {}
+        assert a == b  # wall-clock differences must not matter
+
+    @pytest.mark.slow
+    def test_parallel_equivalence_on_small_world(
+        self, small_world, small_report
+    ):
+        parallel = Study.from_world(small_world).run(
+            executor=StudyExecutor(workers=4)
+        )
+        assert parallel == small_report
+        assert_reports_identical(small_report, parallel)

@@ -36,6 +36,45 @@ class TestEcdf:
         with pytest.raises(ValueError):
             ecdf([]).quantile(0.5)
 
+    def test_quantile_boundaries(self):
+        # q exactly on a step boundary must pick the *smallest* value
+        # whose F reaches q (regression: the old epsilon/special-case
+        # indexing could land one element off on exact multiples).
+        curve = ecdf([10, 20, 30, 40])
+        assert curve.quantile(0.25) == 10
+        assert curve.quantile(0.5) == 20
+        assert curve.quantile(0.75) == 30
+        assert curve.quantile(1.0) == 40
+        assert curve.quantile(0.5000001) == 30
+        # n=10, q=0.7: 0.7*10 floats to 7.000…0001; the answer is
+        # still the 7th value, not the 8th.
+        decile = ecdf(list(range(1, 11)))
+        assert decile.quantile(0.7) == 7
+
+    def test_quantile_matches_bruteforce_reference(self):
+        import random
+
+        rng = random.Random(20220315)
+        for _ in range(200):
+            n = rng.randint(1, 40)
+            values = sorted(
+                round(rng.uniform(-50, 50), 2) for _ in range(n)
+            )
+            if rng.random() < 0.3:  # exercise ties
+                values = sorted(values + values[: n // 2])
+            curve = ecdf(values)
+            qs = [rng.random() for _ in range(5)]
+            qs += [0.0, 1.0, 0.5]
+            qs += [k / curve.n for k in (1, curve.n // 2, curve.n)]
+            for q in qs:
+                expected = min(v for v in curve.values if curve.at(v) >= q)
+                assert curve.quantile(q) == expected, (values, q)
+
+    def test_quantile_single_value(self):
+        assert ecdf([7]).quantile(0.0) == 7
+        assert ecdf([7]).quantile(0.3) == 7
+        assert ecdf([7]).quantile(1.0) == 7
+
     def test_empty_at(self):
         assert ecdf([]).at(3) == 0.0
 
