@@ -2,118 +2,245 @@
 
 Used to produce the paper-vs-measured record in EXPERIMENTS.md.
 
-Usage: python scripts/full_run.py [n_links] [seed] [workers]
+Usage::
 
-``workers`` (or the ``REPRO_WORKERS`` environment variable) shards the
-per-record stage across that many processes; the report is identical
-at any worker count, only the attached StudyStats differ.
+    python scripts/full_run.py [n_links] [seed] [workers] [options]
+    python scripts/full_run.py --update-golden
+
+Positionals keep their historical meaning (world size, world seed,
+worker count); ``REPRO_WORKERS`` still backs the worker default. The
+fault/retry options study the same world through a sabotaged stack:
+
+    --fault-plan {net,archive,everywhere}   which channels misbehave
+    --fault-rate R       per-key fault probability (REPRO_FAULT_RATE)
+    --fault-seed S       fault plan seed (replayable chaos)
+    --retries N          retry budget, 0 = the paper's no-retry bot
+                         (REPRO_RETRIES); capped-exponential backoff
+
+With a transient plan and ``--retries`` at the plan's required depth,
+the printed report is byte-identical to the fault-free run — only the
+``retries:`` line of the stats block shows the recovered faults.
+
+``--update-golden`` regenerates the committed golden snapshot
+(tests/golden/study_report_tiny.md) that tier-1 compares against, then
+exits.
 """
 
+import argparse
 import os
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.study import Study
 from repro.dataset.worldgen import WorldConfig, generate_world
 from repro.exec import StudyExecutor
+from repro.faults import DEFAULT_MASKING_POLICY, FaultPlan, RetryPolicy
 from repro.net.status import Outcome
 from repro.reporting.cdf import ecdf
 from repro.reporting.figures import render_bar_chart, render_cdf
 from repro.reporting.summary import ComparisonTable
 
-n_links = int(sys.argv[1]) if len(sys.argv) > 1 else 26_000
-seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
-workers = (
-    int(sys.argv[3])
-    if len(sys.argv) > 3
-    else int(os.environ.get("REPRO_WORKERS", "1"))
-)
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
-t0 = time.time()
-world = generate_world(WorldConfig(n_links=n_links, target_sample=10_000, seed=seed))
-t1 = time.time()
-report = Study.from_world(world).run(executor=StudyExecutor(workers=workers))
-t2 = time.time()
+_PLAN_FACTORIES = {
+    "net": FaultPlan.transient_net,
+    "archive": FaultPlan.transient_archive,
+    "everywhere": FaultPlan.transient_everywhere,
+}
 
-n = report.sample_size
-print(f"# world: {world.summary()}")
-print(f"# generation {t1 - t0:.0f}s, study {t2 - t1:.0f}s")
-for line in report.stats.summary().splitlines():
-    print(f"# {line}")
-print()
-print(report.summary())
-print()
 
-ds = report.dataset
-print(f"dataset: {len(ds.domains())} domains, {len(ds.hostnames())} hostnames "
-      "(paper: 3,521 / 3,940)")
-print()
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description="Run the full study and print every figure and table."
+    )
+    parser.add_argument("n_links", nargs="?", type=int, default=26_000)
+    parser.add_argument("seed", nargs="?", type=int, default=11)
+    parser.add_argument(
+        "workers",
+        nargs="?",
+        type=int,
+        default=int(os.environ.get("REPRO_WORKERS", "1")),
+        help="worker processes for the sharded stage (REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--target-sample", type=int, default=10_000, help="links to sample"
+    )
+    parser.add_argument(
+        "--fault-plan",
+        choices=sorted(_PLAN_FACTORIES),
+        default="everywhere",
+        help="which transient fault channels to activate (with --fault-rate)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=float(os.environ.get("REPRO_FAULT_RATE", "0.0")),
+        help="per-key fault probability; 0 disables injection "
+        "(REPRO_FAULT_RATE)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="fault plan seed"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=int(os.environ.get("REPRO_RETRIES", "0")),
+        help="retry budget per operation; 0 reproduces the paper's "
+        "no-retry clients exactly (REPRO_RETRIES)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate tests/golden/study_report_tiny.md and exit",
+    )
+    return parser.parse_args(argv)
 
-domain_curve = ecdf(list(ds.domains().values()))
-print(render_cdf({"our dataset": domain_curve},
-                 "Figure 3(a): URLs per domain", "urls/domain", log_x=True))
-print()
-rank_curve = ecdf(ds.rankings())
-print(render_cdf({"our dataset": rank_curve},
-                 "Figure 3(b): site ranking", "rank"))
-print()
-year_curve = ecdf(ds.posting_years())
-print(render_cdf({"our dataset": year_curve},
-                 "Figure 3(c): posting year", "year"))
-print()
-print(render_bar_chart({o.value: c for o, c in report.counts.items()},
-                       f"Figure 4: live-web outcomes (n={n})"))
-print()
-gaps = ecdf([max(g, 0.5) for g in report.temporal.gaps_days])
-print(render_cdf({"gap": gaps}, "Figure 5: posting-to-first-capture gap (days)",
-                 "days", log_x=True))
-print()
-spatial = report.spatial
-print(render_cdf(
-    {
-        "directory": ecdf([max(c, 0.5) for c in spatial.directory_counts]),
-        "hostname": ecdf([max(c, 0.5) for c in spatial.hostname_counts]),
-    },
-    "Figure 6: archived neighbors of never-archived links",
-    "neighbors",
-    log_x=True,
-))
-print()
 
-table = ComparisonTable(title="Headline numbers, paper vs measured")
-counts = report.counts
-rest = max(report.n_rest, 1)
-never = max(report.n_never_archived, 1)
-gap_pop = max(len(report.temporal.gap_population), 1)
-archived = max(report.n_rest_with_any_copy, 1)
-rows = [
-    ("fig4 DNS failure %", 28.0, 100 * counts[Outcome.DNS_FAILURE] / n),
-    ("fig4 timeout %", 6.0, 100 * counts[Outcome.TIMEOUT] / n),
-    ("fig4 404 %", 44.0, 100 * counts[Outcome.HTTP_404] / n),
-    ("fig4 200 %", 16.5, 100 * counts[Outcome.HTTP_200] / n),
-    ("fig4 other %", 5.5, 100 * counts[Outcome.OTHER] / n),
-    ("s3 genuinely alive %", 3.05, 100 * report.frac_genuinely_alive),
-    ("s3 alive-via-redirect %", 79.0, 100 * report.frac_alive_via_redirect),
-    ("s3 first post-marking copy erroneous %", 95.0,
-     100 * report.frac_first_post_marking_erroneous),
-    ("s4.1 pre-marking 200 copies %", 10.8, 100 * report.frac_pre_marking_200),
-    ("s4.2 3xx copies, % of rest", 42.3, 100 * report.n_rest_with_pre_3xx / rest),
-    ("s4.2 validated redirects, % of sample", 4.8,
-     100 * report.frac_patchable_via_redirect),
-    ("s5 never archived, % of rest", 22.2, 100 * report.n_never_archived / rest),
-    ("s5 pre-posting copies, % of archived", 8.9,
-     100 * len(report.temporal.with_pre_posting_copy) / archived),
-    ("s5 same-day captures, % of gap pop", 6.9,
-     100 * len(report.temporal.same_day) / gap_pop),
-    ("s5 same-day erroneous first-up %", 61.0,
-     100 * len(report.temporal.same_day_erroneous)
-     / max(len(report.temporal.same_day), 1)),
-    ("s5.2 directory gaps, % of never-archived", 37.8,
-     100 * len(spatial.directory_gaps) / never),
-    ("s5.2 hostname gaps, % of never-archived", 12.9,
-     100 * len(spatial.hostname_gaps) / never),
-    ("s5.2 typos, % of never-archived", 11.0, 100 * len(report.typos) / never),
-]
-for name, paper, measured in rows:
-    table.add(name, paper=paper, measured=measured, tolerance=0.6)
-print(table.render())
+def build_faults(args) -> FaultPlan | None:
+    if args.fault_rate <= 0.0:
+        return None
+    return _PLAN_FACTORIES[args.fault_plan](
+        rate=args.fault_rate, seed=args.fault_seed
+    )
+
+
+def build_retry_policy(args) -> RetryPolicy | None:
+    if args.retries <= 0:
+        return None
+    return RetryPolicy(
+        max_retries=args.retries,
+        base_delay_ms=DEFAULT_MASKING_POLICY.base_delay_ms,
+        multiplier=DEFAULT_MASKING_POLICY.multiplier,
+        max_delay_ms=DEFAULT_MASKING_POLICY.max_delay_ms,
+        budget_ms=DEFAULT_MASKING_POLICY.budget_ms,
+    )
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+
+    if args.update_golden:
+        from repro.reporting.golden import update_golden
+
+        path = update_golden(REPO_ROOT)
+        print(f"golden snapshot regenerated: {path.relative_to(REPO_ROOT)}")
+        return 0
+
+    faults = build_faults(args)
+    retry_policy = build_retry_policy(args)
+
+    t0 = time.time()
+    world = generate_world(
+        WorldConfig(
+            n_links=args.n_links,
+            target_sample=args.target_sample,
+            seed=args.seed,
+        )
+    )
+    t1 = time.time()
+    report = Study.from_world(
+        world, faults=faults, retry_policy=retry_policy
+    ).run(executor=StudyExecutor(workers=args.workers))
+    t2 = time.time()
+
+    n = report.sample_size
+    print(f"# world: {world.summary()}")
+    print(f"# generation {t1 - t0:.0f}s, study {t2 - t1:.0f}s")
+    if faults is not None:
+        print(f"# faults: {faults.describe()}")
+        print(
+            f"# retry budget: {args.retries} "
+            f"(plan needs {faults.required_retries()} to mask fully)"
+        )
+    for line in report.stats.summary().splitlines():
+        print(f"# {line}")
+    print()
+    print(report.summary())
+    print()
+
+    ds = report.dataset
+    print(
+        f"dataset: {len(ds.domains())} domains, {len(ds.hostnames())} "
+        "hostnames (paper: 3,521 / 3,940)"
+    )
+    print()
+
+    domain_curve = ecdf(list(ds.domains().values()))
+    print(render_cdf({"our dataset": domain_curve},
+                     "Figure 3(a): URLs per domain", "urls/domain", log_x=True))
+    print()
+    rank_curve = ecdf(ds.rankings())
+    print(render_cdf({"our dataset": rank_curve},
+                     "Figure 3(b): site ranking", "rank"))
+    print()
+    year_curve = ecdf(ds.posting_years())
+    print(render_cdf({"our dataset": year_curve},
+                     "Figure 3(c): posting year", "year"))
+    print()
+    print(render_bar_chart({o.value: c for o, c in report.counts.items()},
+                           f"Figure 4: live-web outcomes (n={n})"))
+    print()
+    gaps = ecdf([max(g, 0.5) for g in report.temporal.gaps_days])
+    print(render_cdf({"gap": gaps},
+                     "Figure 5: posting-to-first-capture gap (days)",
+                     "days", log_x=True))
+    print()
+    spatial = report.spatial
+    print(render_cdf(
+        {
+            "directory": ecdf([max(c, 0.5) for c in spatial.directory_counts]),
+            "hostname": ecdf([max(c, 0.5) for c in spatial.hostname_counts]),
+        },
+        "Figure 6: archived neighbors of never-archived links",
+        "neighbors",
+        log_x=True,
+    ))
+    print()
+
+    table = ComparisonTable(title="Headline numbers, paper vs measured")
+    counts = report.counts
+    rest = max(report.n_rest, 1)
+    never = max(report.n_never_archived, 1)
+    gap_pop = max(len(report.temporal.gap_population), 1)
+    archived = max(report.n_rest_with_any_copy, 1)
+    rows = [
+        ("fig4 DNS failure %", 28.0, 100 * counts[Outcome.DNS_FAILURE] / n),
+        ("fig4 timeout %", 6.0, 100 * counts[Outcome.TIMEOUT] / n),
+        ("fig4 404 %", 44.0, 100 * counts[Outcome.HTTP_404] / n),
+        ("fig4 200 %", 16.5, 100 * counts[Outcome.HTTP_200] / n),
+        ("fig4 other %", 5.5, 100 * counts[Outcome.OTHER] / n),
+        ("s3 genuinely alive %", 3.05, 100 * report.frac_genuinely_alive),
+        ("s3 alive-via-redirect %", 79.0, 100 * report.frac_alive_via_redirect),
+        ("s3 first post-marking copy erroneous %", 95.0,
+         100 * report.frac_first_post_marking_erroneous),
+        ("s4.1 pre-marking 200 copies %", 10.8,
+         100 * report.frac_pre_marking_200),
+        ("s4.2 3xx copies, % of rest", 42.3,
+         100 * report.n_rest_with_pre_3xx / rest),
+        ("s4.2 validated redirects, % of sample", 4.8,
+         100 * report.frac_patchable_via_redirect),
+        ("s5 never archived, % of rest", 22.2,
+         100 * report.n_never_archived / rest),
+        ("s5 pre-posting copies, % of archived", 8.9,
+         100 * len(report.temporal.with_pre_posting_copy) / archived),
+        ("s5 same-day captures, % of gap pop", 6.9,
+         100 * len(report.temporal.same_day) / gap_pop),
+        ("s5 same-day erroneous first-up %", 61.0,
+         100 * len(report.temporal.same_day_erroneous)
+         / max(len(report.temporal.same_day), 1)),
+        ("s5.2 directory gaps, % of never-archived", 37.8,
+         100 * len(spatial.directory_gaps) / never),
+        ("s5.2 hostname gaps, % of never-archived", 12.9,
+         100 * len(spatial.hostname_gaps) / never),
+        ("s5.2 typos, % of never-archived", 11.0,
+         100 * len(report.typos) / never),
+    ]
+    for name, paper, measured in rows:
+        table.add(name, paper=paper, measured=measured, tolerance=0.6)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ byte-identical report at any worker count.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..archive.cdx import CdxApi
@@ -30,8 +31,10 @@ from ..exec import (
     StudyExecutor,
     StudyStats,
 )
+from ..faults import FaultPlan, faulty_cdx, faulty_fetcher
 from ..net.fetch import Fetcher
 from ..net.status import Outcome
+from ..retry import RetryCounters, RetryPolicy
 from ..rng import RngRegistry
 from .copies import CopyCensus
 from .live_status import LiveProbe, outcome_counts
@@ -170,13 +173,21 @@ class StudyReport:
 
 @dataclass
 class Study:
-    """A configured study, ready to run."""
+    """A configured study, ready to run.
+
+    ``retry_policy`` is the study client's resilience posture: it
+    drives the fetcher's transient-failure retries and is inherited by
+    the exec-layer caching wrappers (parent and worker shards alike)
+    unless the executor carries its own. ``None`` — the default, and
+    the paper's configuration — never retries.
+    """
 
     records: list[LinkRecord]
     fetcher: Fetcher
     cdx: CdxApi
     at: SimTime
     rngs: RngRegistry = field(default_factory=lambda: RngRegistry(20220315))
+    retry_policy: RetryPolicy | None = None
 
     @classmethod
     def from_world(
@@ -185,24 +196,43 @@ class Study:
         sample_size: int | None = None,
         article_limit: int | None = None,
         seed: int = 20220315,
+        faults: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> "Study":
         """Collect and sample the dataset from a generated world.
 
         Mirrors §2.4: crawl the category (optionally only the first
         ``article_limit`` articles), mine histories, sample
         ``sample_size`` IABot-marked links.
+
+        ``faults`` studies the *same* world through sabotaged probes:
+        the live-web fetcher and the CDX API are wrapped in the plan's
+        injectors (world generation itself stays fault-free, so the
+        ground truth is shared with the clean run — the differential
+        harness depends on that). ``retry_policy`` arms the clients
+        against the transients.
         """
         collector = Collector(world.encyclopedia, world.site_rankings)
         collected = collector.collect(article_limit=article_limit)
         k = sample_size if sample_size is not None else world.config.target_sample
         sampled = sample_iabot_marked(collected, k, seed=seed)
         dataset = collector.to_dataset(sampled, description="our dataset")
+        if faults is not None and faults.net_active:
+            fetcher = faulty_fetcher(world.web, faults, retry_policy=retry_policy)
+        else:
+            fetcher = world.fetcher()
+            if retry_policy is not None:
+                fetcher = Fetcher(
+                    world.web.dns, world.web, retry_policy=retry_policy
+                )
+        cdx = faulty_cdx(world.cdx, faults) if faults is not None else world.cdx
         return cls(
             records=dataset.records,
-            fetcher=world.fetcher(),
-            cdx=world.cdx,
+            fetcher=fetcher,
+            cdx=cdx,
             at=world.study_time,
             rngs=RngRegistry(seed),
+            retry_policy=retry_policy,
         )
 
     def run(self, executor: StudyExecutor | None = None) -> StudyReport:
@@ -210,9 +240,15 @@ class Study:
 
         ``executor`` controls sharding; the default runs in-process.
         Any worker count yields the same report — only the attached
-        :class:`~repro.exec.StudyStats` differs.
+        :class:`~repro.exec.StudyStats` differs. The study's retry
+        policy is handed to the executor's caching wrappers unless the
+        executor already carries one of its own.
         """
         executor = executor if executor is not None else StudyExecutor(workers=1)
+        if self.retry_policy is not None and executor.retry_policy is None:
+            executor = dataclasses.replace(
+                executor, retry_policy=self.retry_policy
+            )
         stats = StudyStats(workers=executor.resolved_workers)
         dataset = Dataset(records=list(self.records), description="our dataset")
 
@@ -270,6 +306,24 @@ class Study:
 
         stats.add_fetch_counts(stage.fetcher.hits, stage.fetcher.misses)
         stats.add_cdx_counts(stage.cdx.hits, stage.cdx.misses)
+
+        # Parent-side retry accounting. In serial mode the study's own
+        # fetcher did all the work; in parallel mode it only served the
+        # parent phases (workers reported their deltas through the
+        # executor already), so summing here never double-counts.
+        fetch_rc = RetryCounters()
+        fetch_rc.merge(
+            getattr(self.fetcher, "retry_counters", None) or RetryCounters()
+        )
+        fetch_rc.merge(stage.fetcher.retry_counters)
+        cdx_rc = stage.cdx.retry_counters
+        stats.add_retry_counts(
+            fetch_retries=fetch_rc.retries,
+            fetch_giveups=fetch_rc.giveups,
+            cdx_retries=cdx_rc.retries,
+            cdx_giveups=cdx_rc.giveups,
+            backoff_ms=fetch_rc.backoff_ms + cdx_rc.backoff_ms,
+        )
 
         return StudyReport(
             dataset=dataset,

@@ -9,7 +9,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``transient`` marks failures that a retry may cure (an injected
+    SERVFAIL, a rate-limit window); retry policies consult it through
+    :func:`repro.retry.is_transient`. Permanent failures (NXDOMAIN, a
+    genuinely dead origin) keep the default ``False`` so no retry
+    budget is ever burned on them.
+    """
+
+    transient: bool = False
 
 
 class ClockError(ReproError):
@@ -38,12 +47,38 @@ class DnsError(NetworkSimError):
         self.reason = reason
 
 
+class DnsServfail(DnsError):
+    """A *transient* DNS failure (the resolver choked, not the domain).
+
+    Injected by :mod:`repro.faults`; distinguishable from NXDOMAIN so
+    retry policies know the lookup is worth repeating. Without retries
+    the fetcher classifies it like any DNS failure — exactly how a
+    measurement pipeline misreads infrastructure flakiness as deadness.
+    """
+
+    transient = True
+
+    def __init__(self, hostname: str) -> None:
+        super().__init__(hostname, "SERVFAIL (transient)")
+
+
 class ConnectionTimeout(NetworkSimError):
     """Raised when TCP/TLS connection setup to a host times out."""
 
     def __init__(self, hostname: str) -> None:
         super().__init__(f"connection to {hostname!r} timed out")
         self.hostname = hostname
+
+
+class TransientConnectionTimeout(ConnectionTimeout):
+    """An injected, retryable connection timeout (congestion, not death).
+
+    Subclasses :class:`ConnectionTimeout` so every existing handler
+    (the fetcher's TIMEOUT classification, site models) treats it
+    identically when no retry policy is in play.
+    """
+
+    transient = True
 
 
 class TooManyRedirects(NetworkSimError):
@@ -72,6 +107,34 @@ class ArchiveTimeout(ArchiveError):
         )
         self.url = url
         self.timeout_ms = timeout_ms
+
+
+class ArchiveUnavailable(ArchiveError):
+    """An archive API answered with a server error (HTTP 5xx).
+
+    Models the Internet Archive's documented load shedding; transient
+    by definition — the request itself is fine, the service is not.
+    """
+
+    transient = True
+
+    def __init__(self, what: str, status: int = 503) -> None:
+        super().__init__(f"archive API returned {status} for {what!r}")
+        self.what = what
+        self.status = status
+
+
+class CdxRateLimited(ArchiveUnavailable):
+    """A CDX query rejected by a rate-limit window (HTTP 429).
+
+    ``retry_after_ms`` is the server's suggested pause; retry policies
+    may ignore it (our backoff schedule is the caller's own), but it is
+    surfaced so clients can honour it if they choose.
+    """
+
+    def __init__(self, what: str, retry_after_ms: float = 1000.0) -> None:
+        super().__init__(what, status=429)
+        self.retry_after_ms = retry_after_ms
 
 
 class WikiError(ReproError):

@@ -27,6 +27,7 @@ from ..archive.cdx import CdxApi, CdxQuery, MatchType
 from ..archive.snapshot import Snapshot
 from ..clock import SimTime
 from ..net.fetch import Fetcher, FetchResult
+from ..retry import RetryCounters, RetryPolicy, call_with_retry
 from ..urls.parse import ParsedUrl, parse_url
 from ..urls.psl import default_psl
 
@@ -41,14 +42,24 @@ class CachingCdxApi:
     ``query_count``), so every analysis accepts it in place of the raw
     API. ``hits`` / ``misses`` count memo outcomes; each miss is one
     backend query.
+
+    This wrapper is also where archive-side resilience lives: a
+    ``retry_policy`` re-issues backend queries that fail transiently
+    (a :class:`~repro.errors.CdxRateLimited` window, a 5xx burst from
+    a fault-injected backend), so a masked transient is *also* a memo
+    entry — one recovery serves every repeat of the query.
     """
 
-    def __init__(self, inner: CdxApi) -> None:
+    def __init__(
+        self, inner: CdxApi, retry_policy: RetryPolicy | None = None
+    ) -> None:
         self._inner = inner
+        self._retry_policy = retry_policy
         self._query_memo: dict[object, tuple[Snapshot, ...]] = {}
         self._urls_memo: dict[object, tuple[str, ...]] = {}
         self.hits = 0
         self.misses = 0
+        self.retry_counters = RetryCounters()
 
     # -- CdxApi interface --------------------------------------------------------
 
@@ -111,7 +122,12 @@ class CachingCdxApi:
         rows = self._query_memo.get(request)
         if rows is None:
             self.misses += 1
-            rows = self._inner.query(request)
+            rows = call_with_retry(
+                lambda: self._inner.query(request),
+                self._retry_policy,
+                key=f"cdx.query:{request!r}",
+                counters=self.retry_counters,
+            )
             self._query_memo[request] = rows
         else:
             self.hits += 1
@@ -121,7 +137,12 @@ class CachingCdxApi:
         urls = self._urls_memo.get(request)
         if urls is None:
             self.misses += 1
-            urls = self._inner.archived_urls(request)
+            urls = call_with_retry(
+                lambda: self._inner.archived_urls(request),
+                self._retry_policy,
+                key=f"cdx.urls:{request!r}",
+                counters=self.retry_counters,
+            )
             self._urls_memo[request] = urls
         else:
             self.hits += 1
@@ -137,13 +158,24 @@ class CachingFetcher:
     re-fetches every 200-status URL the live probe just fetched; with
     the memo (optionally pre-seeded from probe results) those duplicate
     fetches never touch the network.
+
+    ``retry_policy`` retries backends whose ``fetch`` *raises*
+    transiently. The standard :class:`Fetcher` never does — it owns
+    its own retry policy and folds failures into the
+    :class:`FetchResult` — so this stays inert for the common stack;
+    it exists for fetch-shaped backends that surface transport errors
+    as exceptions.
     """
 
-    def __init__(self, inner: Fetcher) -> None:
+    def __init__(
+        self, inner: Fetcher, retry_policy: RetryPolicy | None = None
+    ) -> None:
         self._inner = inner
+        self._retry_policy = retry_policy
         self._memo: dict[tuple[str, float], FetchResult] = {}
         self.hits = 0
         self.misses = 0
+        self.retry_counters = RetryCounters()
 
     @property
     def fetch_count(self) -> int:
@@ -162,7 +194,12 @@ class CachingFetcher:
         result = self._memo.get(key)
         if result is None:
             self.misses += 1
-            result = self._inner.fetch(url, at)
+            result = call_with_retry(
+                lambda: self._inner.fetch(url, at),
+                self._retry_policy,
+                key=f"fetch:{key[0]}@{key[1]}",
+                counters=self.retry_counters,
+            )
             self._memo[key] = result
         else:
             self.hits += 1

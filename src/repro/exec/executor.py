@@ -26,6 +26,7 @@ from ..archive.cdx import CdxApi
 from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher
+from ..retry import RetryPolicy
 from .cache import CachingCdxApi, CachingFetcher
 from .stats import StudyStats
 from .worker import (
@@ -73,11 +74,15 @@ class StudyExecutor:
             the world without pickling it) and the platform default
             otherwise.
         max_redirect_copies: per-link bound on §4.2 cross-examinations.
+        retry_policy: backoff schedule the exec-layer caching wrappers
+            apply to transient backend failures, in the parent and in
+            every worker shard; ``None`` never retries.
     """
 
     workers: int | None = None
     start_method: str | None = None
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK
+    retry_policy: RetryPolicy | None = None
     _last_shards: int = field(default=1, init=False, repr=False)
 
     @property
@@ -101,8 +106,8 @@ class StudyExecutor:
         their own counters for the phases that follow.
         """
         workers = min(self.resolved_workers, max(len(records), 1))
-        parent_fetcher = CachingFetcher(fetcher)
-        parent_cdx = CachingCdxApi(cdx)
+        parent_fetcher = CachingFetcher(fetcher, retry_policy=self.retry_policy)
+        parent_cdx = CachingCdxApi(cdx, retry_policy=self.retry_policy)
 
         if workers <= 1:
             outcomes = self._execute_serial(
@@ -126,6 +131,13 @@ class StudyExecutor:
             if stats is not None:
                 stats.add_fetch_counts(shard.fetch_hits, shard.fetch_misses)
                 stats.add_cdx_counts(shard.cdx_hits, shard.cdx_misses)
+                stats.add_retry_counts(
+                    fetch_retries=shard.fetch_retries,
+                    fetch_giveups=shard.fetch_giveups,
+                    cdx_retries=shard.cdx_retries,
+                    cdx_giveups=shard.cdx_giveups,
+                    backoff_ms=shard.backoff_ms,
+                )
         for outcome in outcomes:
             parent_fetcher.seed(
                 outcome.record.url, at, outcome.probe.result
@@ -171,6 +183,7 @@ class StudyExecutor:
             cdx=cdx,
             at=at,
             max_redirect_copies=self.max_redirect_copies,
+            retry_policy=self.retry_policy,
         )
         method = self.start_method
         if method is None:

@@ -17,6 +17,12 @@ from dataclasses import dataclass, field
 
 
 def _rate(hits: int, total: int) -> float:
+    """``hits / total``, degrading to 0.0 for an empty denominator.
+
+    Every percentage :meth:`StudyStats.summary` prints flows through
+    here, so zero-activity runs render "0.0%" instead of dividing by
+    zero.
+    """
     return hits / total if total else 0.0
 
 
@@ -35,6 +41,12 @@ class StudyStats:
         cdx_queries: CDX queries the analyses issued.
         backend_cdx_queries: queries that reached the CDX API proper.
         cdx_cache_hits: queries answered from the query memo.
+        fetch_retries / fetch_giveups: live-web transient failures
+            retried / abandoned (zero unless a retry policy is set and
+            transients actually occur).
+        cdx_retries / cdx_giveups: the same for archive queries.
+        backoff_ms: total *virtual* backoff delay across all clients —
+            what the run would have spent sleeping on a wall clock.
     """
 
     workers: int = 1
@@ -46,6 +58,11 @@ class StudyStats:
     cdx_queries: int = 0
     backend_cdx_queries: int = 0
     cdx_cache_hits: int = 0
+    fetch_retries: int = 0
+    fetch_giveups: int = 0
+    cdx_retries: int = 0
+    cdx_giveups: int = 0
+    backoff_ms: float = 0.0
 
     @contextmanager
     def phase(self, name: str):
@@ -73,6 +90,26 @@ class StudyStats:
         self.cdx_cache_hits += hits
         self.backend_cdx_queries += misses
 
+    def add_retry_counts(
+        self,
+        fetch_retries: int = 0,
+        fetch_giveups: int = 0,
+        cdx_retries: int = 0,
+        cdx_giveups: int = 0,
+        backoff_ms: float = 0.0,
+    ) -> None:
+        """Fold one client's (or one shard's) retry counters in.
+
+        Called once per worker shard by the executor and once by the
+        study for the parent-side clients; totals are therefore exact
+        sums over every process that retried anything.
+        """
+        self.fetch_retries += fetch_retries
+        self.fetch_giveups += fetch_giveups
+        self.cdx_retries += cdx_retries
+        self.cdx_giveups += cdx_giveups
+        self.backoff_ms += backoff_ms
+
     # -- derived rates -----------------------------------------------------------
 
     @property
@@ -84,6 +121,26 @@ class StudyStats:
     def cdx_cache_hit_rate(self) -> float:
         """Share of CDX queries served from the memo."""
         return _rate(self.cdx_cache_hits, self.cdx_queries)
+
+    @property
+    def total_retries(self) -> int:
+        """Retries across both backends."""
+        return self.fetch_retries + self.cdx_retries
+
+    @property
+    def total_giveups(self) -> int:
+        """Giveups across both backends."""
+        return self.fetch_giveups + self.cdx_giveups
+
+    @property
+    def retry_giveup_rate(self) -> float:
+        """Share of retry bouts that still ended in failure.
+
+        A bout is one logical operation that needed retrying; retries
+        plus giveups over-counts bouts, so this is a conservative
+        upper bound used only for display.
+        """
+        return _rate(self.total_giveups, self.total_retries + self.total_giveups)
 
     @property
     def total_seconds(self) -> float:
@@ -113,6 +170,12 @@ class StudyStats:
                     f"cdx queries: {self.cdx_queries} issued, "
                     f"{self.backend_cdx_queries} reached the API "
                     f"(cache hit rate {self.cdx_cache_hit_rate:.1%})"
+                ),
+                (
+                    f"retries: fetch {self.fetch_retries} "
+                    f"(gave up {self.fetch_giveups}), "
+                    f"cdx {self.cdx_retries} (gave up {self.cdx_giveups}); "
+                    f"virtual backoff {self.backoff_ms:.0f} ms"
                 ),
             ]
         )

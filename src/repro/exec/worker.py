@@ -7,24 +7,29 @@ independence is what lets :class:`~repro.exec.executor.StudyExecutor`
 shard the record list across processes and still merge a byte-identical
 result: this module is the unit of work each shard runs.
 
-Imports reach into ``repro.analysis`` submodules directly (never the
-package namespace) because ``repro.analysis.study`` imports this
-package back; submodule imports keep that cycle inert.
+``repro.analysis.study`` imports this package back, and importing any
+``repro.analysis`` submodule runs the package ``__init__`` (which
+imports ``study``), so analysis imports here are deferred to call time
+in :func:`run_record_stage` — that keeps ``repro.exec`` importable on
+its own, whichever side of the cycle loads first.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from dataclasses import dataclass
 
-from ..analysis.archived_soft404 import archived_copy_erroneous
-from ..analysis.copies import CopyCensus, census_link
-from ..analysis.live_status import LiveProbe
-from ..analysis.redirects import RedirectValidator
 from ..archive.cdx import CdxApi
 from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher
+from ..retry import RetryCounters, RetryPolicy
 from .cache import CachingCdxApi, CachingFetcher
+
+if TYPE_CHECKING:
+    from ..analysis.copies import CopyCensus
+    from ..analysis.live_status import LiveProbe
 
 #: How many 3xx copies per link to cross-examine before concluding no
 #: valid redirect copy exists (keeps §4.2 cost bounded per link).
@@ -48,7 +53,12 @@ class RecordOutcome:
 
 @dataclass(frozen=True, slots=True)
 class ShardResult:
-    """One shard's outcomes plus its cache accounting."""
+    """One shard's outcomes plus its cache and retry accounting.
+
+    Retry counters are *deltas* measured around the shard's own work
+    (a pool worker may run several shards on one fetcher copy), so the
+    parent can sum them across shards without double counting.
+    """
 
     start: int
     outcomes: tuple[RecordOutcome, ...]
@@ -56,6 +66,11 @@ class ShardResult:
     fetch_misses: int = 0
     cdx_hits: int = 0
     cdx_misses: int = 0
+    fetch_retries: int = 0
+    fetch_giveups: int = 0
+    cdx_retries: int = 0
+    cdx_giveups: int = 0
+    backoff_ms: float = 0.0
 
 
 def run_record_stage(
@@ -66,6 +81,11 @@ def run_record_stage(
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK,
 ) -> RecordOutcome:
     """Run the sharded portion of the pipeline for one record."""
+    from ..analysis.archived_soft404 import archived_copy_erroneous
+    from ..analysis.copies import census_link
+    from ..analysis.live_status import LiveProbe
+    from ..analysis.redirects import RedirectValidator
+
     probe = LiveProbe(record=record, result=fetcher.fetch(record.url, at))
     census = census_link(record, cdx)
 
@@ -102,6 +122,7 @@ class WorkerContext:
     cdx: CdxApi
     at: SimTime
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK
+    retry_policy: RetryPolicy | None = None
 
 
 #: Per-process context. Under the ``fork`` start method the parent sets
@@ -117,19 +138,29 @@ def set_context(context: WorkerContext | None) -> None:
     _CONTEXT = context
 
 
+def _fetcher_retry_counters(fetcher: Fetcher | CachingFetcher) -> RetryCounters:
+    """The retry counters of a fetch backend, tolerating foreign ones."""
+    counters = getattr(fetcher, "retry_counters", None)
+    return counters if counters is not None else RetryCounters()
+
+
 def run_shard(span: tuple[int, int]) -> ShardResult:
     """Run the record stage over ``records[start:stop]`` of the context.
 
     Each shard gets fresh memo caches: links in one shard share sibling
     scopes far more often than links across shards, so per-shard caches
     capture most of the repetition without any cross-process traffic.
+    Retry activity on the shared fetcher is reported as a before/after
+    delta (other shards in this process own their slice of it).
     """
     context = _CONTEXT
     if context is None:
         raise RuntimeError("worker context not initialised")
     start, stop = span
-    fetcher = CachingFetcher(context.fetcher)
-    cdx = CachingCdxApi(context.cdx)
+    fetcher = CachingFetcher(context.fetcher, retry_policy=context.retry_policy)
+    cdx = CachingCdxApi(context.cdx, retry_policy=context.retry_policy)
+    inner = _fetcher_retry_counters(context.fetcher)
+    before = (inner.retries, inner.giveups, inner.backoff_ms)
     outcomes = tuple(
         run_record_stage(
             context.records[index],
@@ -147,4 +178,11 @@ def run_shard(span: tuple[int, int]) -> ShardResult:
         fetch_misses=fetcher.misses,
         cdx_hits=cdx.hits,
         cdx_misses=cdx.misses,
+        fetch_retries=(inner.retries - before[0]) + fetcher.retry_counters.retries,
+        fetch_giveups=(inner.giveups - before[1]) + fetcher.retry_counters.giveups,
+        cdx_retries=cdx.retry_counters.retries,
+        cdx_giveups=cdx.retry_counters.giveups,
+        backoff_ms=(inner.backoff_ms - before[2])
+        + fetcher.retry_counters.backoff_ms
+        + cdx.retry_counters.backoff_ms,
     )

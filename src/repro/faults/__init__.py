@@ -1,0 +1,62 @@
+"""Deterministic, seeded fault injection for the simulated backends.
+
+The paper's headline §4.1 finding — 11% of "permanently dead" links
+had archived copies IABot never saw — is *caused* by transient
+infrastructure failure: availability lookups timing out under load.
+This package makes that failure regime a first-class, replayable axis
+of the simulation instead of a single hardcoded timeout:
+
+- :class:`FaultPlan` / :class:`FaultSpec` — declarative, seeded
+  description of what breaks (DNS SERVFAILs, connection timeouts,
+  archive 5xx bursts, latency spikes, rate-limit windows), how often,
+  and how persistently;
+- the injectors (:class:`FaultyDns`, :class:`FaultyOrigin`,
+  :class:`FaultyCdxApi`, :class:`FaultyAvailabilityApi`) — wrappers
+  presenting the exact interfaces of the components they sabotage;
+- composition helpers (:func:`faulty_fetcher`, :func:`faulty_cdx`,
+  :func:`faulty_availability`) — one-call wiring for studies.
+
+Paired with :mod:`repro.retry`, the invariant the differential test
+tier enforces: a transient-only plan plus a retry budget of
+``plan.required_retries()`` yields a study report byte-identical to
+the fault-free run; with retries disabled, degradation is confined to
+the Figure-4 outcome buckets the faults map onto.
+"""
+
+from ..retry import (
+    DEFAULT_MASKING_POLICY,
+    RetryCounters,
+    RetryPolicy,
+    call_with_retry,
+    is_transient,
+)
+from .inject import (
+    FaultChannel,
+    FaultyAvailabilityApi,
+    FaultyCdxApi,
+    FaultyDns,
+    FaultyOrigin,
+    faulty_availability,
+    faulty_cdx,
+    faulty_fetcher,
+)
+from .plan import FaultPlan, FaultPlanError, FaultSpec
+
+__all__ = [
+    "DEFAULT_MASKING_POLICY",
+    "FaultChannel",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultyAvailabilityApi",
+    "FaultyCdxApi",
+    "FaultyDns",
+    "FaultyOrigin",
+    "RetryCounters",
+    "RetryPolicy",
+    "call_with_retry",
+    "faulty_availability",
+    "faulty_cdx",
+    "faulty_fetcher",
+    "is_transient",
+]

@@ -1,0 +1,196 @@
+"""Declarative fault plans: what breaks, how often, how persistently.
+
+A :class:`FaultPlan` is the complete, replayable description of one
+chaos regime: per-channel :class:`FaultSpec` rates for transient DNS
+SERVFAILs and connection timeouts on the live web, and 5xx bursts,
+latency spikes, and rate-limit windows on the archive APIs. Every
+decision the injectors make is a pure function of the plan's seed and
+the operation's identity (see :mod:`repro.faults.inject`), so two runs
+under the same plan inject byte-identical faults — the property the
+differential test harness is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from ..errors import ReproError
+
+
+class FaultPlanError(ReproError):
+    """Raised when a fault plan is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault channel's behaviour.
+
+    Attributes:
+        rate: probability (per operation key) that the key is faulted
+            at all. ``0`` disables the channel.
+        max_repeats: for a faulted key, the fault repeats on its first
+            1..max_repeats attempts (depth drawn deterministically per
+            key), then clears — the definition of *transient* here. A
+            retry budget of at least ``max_repeats`` fully masks the
+            channel.
+        permanent: the fault never clears for a faulted key, however
+            often it is retried (an outage, not a blip). Permanent
+            channels are what make a plan non-transient.
+    """
+
+    rate: float = 0.0
+    max_repeats: int = 2
+    permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.max_repeats < 1:
+            raise FaultPlanError("max_repeats must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """Whether this channel can ever fire."""
+        return self.rate > 0.0
+
+
+_OFF = FaultSpec(rate=0.0)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded chaos configuration for every injectable backend.
+
+    Channels:
+        dns_servfail: transient resolver failures during live fetches.
+        connect_timeout: transient connection timeouts during live
+            fetches.
+        availability_error: Wayback Availability API 5xx responses.
+        availability_spike: latency spikes added to availability
+            lookups (``availability_spike_ms`` each), which push
+            bounded lookups over their caller's timeout.
+        cdx_error: CDX server 5xx responses.
+        cdx_rate_limit: CDX rate-limit windows (HTTP 429 carrying
+            ``cdx_retry_after_ms``).
+    """
+
+    seed: int = 0
+    dns_servfail: FaultSpec = field(default_factory=lambda: _OFF)
+    connect_timeout: FaultSpec = field(default_factory=lambda: _OFF)
+    availability_error: FaultSpec = field(default_factory=lambda: _OFF)
+    availability_spike: FaultSpec = field(default_factory=lambda: _OFF)
+    availability_spike_ms: float = 30_000.0
+    cdx_error: FaultSpec = field(default_factory=lambda: _OFF)
+    cdx_rate_limit: FaultSpec = field(default_factory=lambda: _OFF)
+    cdx_retry_after_ms: float = 1_000.0
+
+    # -- introspection -----------------------------------------------------------
+
+    def specs(self) -> dict[str, FaultSpec]:
+        """Every channel spec by name, active or not."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if isinstance(getattr(self, f.name), FaultSpec)
+        }
+
+    @property
+    def active(self) -> bool:
+        """Whether any channel can fire under this plan."""
+        return any(spec.active for spec in self.specs().values())
+
+    @property
+    def net_active(self) -> bool:
+        """Whether any live-web (DNS/connect) channel can fire."""
+        return self.dns_servfail.active or self.connect_timeout.active
+
+    @property
+    def cdx_active(self) -> bool:
+        """Whether any CDX channel can fire."""
+        return self.cdx_error.active or self.cdx_rate_limit.active
+
+    @property
+    def availability_active(self) -> bool:
+        """Whether any availability channel can fire."""
+        return self.availability_error.active or self.availability_spike.active
+
+    @property
+    def transient_only(self) -> bool:
+        """Whether every active channel eventually clears.
+
+        Transient-only plans are the masking regime: with a deep
+        enough retry budget the study report is provably identical to
+        a fault-free run.
+        """
+        return not any(
+            spec.permanent for spec in self.specs().values() if spec.active
+        )
+
+    def required_retries(self) -> int:
+        """The retry depth that fully masks this plan's transients.
+
+        Fetch operations face DNS and connect faults in *separate*
+        retry loops, so their depths do not stack; one CDX query can
+        hit a rate-limit window and then a 5xx burst inside a single
+        retried call, so those depths do.
+        """
+        transient = [
+            spec
+            for spec in self.specs().values()
+            if spec.active and not spec.permanent
+        ]
+        if not transient:
+            return 0
+        per_call = [
+            self.dns_servfail.max_repeats if self.dns_servfail.active else 0,
+            self.connect_timeout.max_repeats if self.connect_timeout.active else 0,
+            (self.cdx_error.max_repeats if self.cdx_error.active else 0)
+            + (self.cdx_rate_limit.max_repeats if self.cdx_rate_limit.active else 0),
+            (self.availability_error.max_repeats
+             if self.availability_error.active else 0)
+            + (self.availability_spike.max_repeats
+               if self.availability_spike.active else 0),
+        ]
+        return max(per_call)
+
+    def describe(self) -> str:
+        """One-line human-readable digest (for logs and reports)."""
+        parts = [
+            f"{name}={spec.rate:g}" + ("!" if spec.permanent else "")
+            for name, spec in self.specs().items()
+            if spec.active
+        ]
+        body = ", ".join(parts) if parts else "no active channels"
+        return f"FaultPlan(seed={self.seed}: {body})"
+
+    # -- canned regimes ----------------------------------------------------------
+
+    @classmethod
+    def transient_net(
+        cls, rate: float, seed: int = 0, max_repeats: int = 2
+    ) -> "FaultPlan":
+        """Transient DNS + connect faults only (the Figure-4 regime)."""
+        spec = FaultSpec(rate=rate, max_repeats=max_repeats)
+        return cls(seed=seed, dns_servfail=spec, connect_timeout=spec)
+
+    @classmethod
+    def transient_archive(
+        cls, rate: float, seed: int = 0, max_repeats: int = 2
+    ) -> "FaultPlan":
+        """Transient CDX 5xx + rate-limit faults only."""
+        spec = FaultSpec(rate=rate, max_repeats=max_repeats)
+        return cls(seed=seed, cdx_error=spec, cdx_rate_limit=spec)
+
+    @classmethod
+    def transient_everywhere(
+        cls, rate: float, seed: int = 0, max_repeats: int = 2
+    ) -> "FaultPlan":
+        """Transient faults on every study-facing channel."""
+        spec = FaultSpec(rate=rate, max_repeats=max_repeats)
+        return cls(
+            seed=seed,
+            dns_servfail=spec,
+            connect_timeout=spec,
+            cdx_error=spec,
+            cdx_rate_limit=spec,
+        )

@@ -12,6 +12,13 @@ Two policies the paper pins its §4 findings on live here:
    only if no redirections were encountered when that copy was
    crawled"). The availability API itself implements the 200 filter,
    matching the real API's behaviour.
+
+The retry knob quantifies how much of §4.1 is *recoverable*: with a
+:class:`~repro.retry.RetryPolicy`, timed-out or transiently erroring
+lookups are repeated (each repeat re-draws the API's latency), trading
+virtual wait for coverage — the sweep ``benchmarks/
+bench_ablation_timeout.py`` measures. The default (no policy) is the
+bot the paper studied: one bounded attempt, give up, move on.
 """
 
 from __future__ import annotations
@@ -19,34 +26,60 @@ from __future__ import annotations
 from ..archive.availability import AvailabilityApi
 from ..archive.snapshot import Snapshot
 from ..clock import SimTime
-from ..errors import ArchiveTimeout
+from ..errors import ArchiveError, ArchiveTimeout
+from ..retry import RetryCounters, RetryPolicy, call_with_retry, is_transient
+
+
+def _lookup_retryable(exc: BaseException) -> bool:
+    """Timeouts and transient archive errors are worth repeating."""
+    return isinstance(exc, ArchiveTimeout) or is_transient(exc)
 
 
 class IABotArchiveClient:
-    """Bounded closest-copy lookups."""
+    """Bounded closest-copy lookups, optionally retried."""
 
     def __init__(
-        self, api: AvailabilityApi, timeout_ms: float | None = 5000.0
+        self,
+        api: AvailabilityApi,
+        timeout_ms: float | None = 5000.0,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._api = api
         self._timeout_ms = timeout_ms
+        self._retry_policy = retry_policy
         self.lookups = 0
         self.timeouts = 0
+        self.errors = 0
+        self.retry_counters = RetryCounters()
 
     def find_copy(self, url: str, posted_at: SimTime) -> Snapshot | None:
-        """The usable archived copy closest to ``posted_at``, if the
-        lookup completes in time.
+        """The usable archived copy closest to ``posted_at``, if any
+        lookup attempt completes in time.
 
-        Returns ``None`` both when no qualifying copy exists and when
-        the lookup times out — the two cases are indistinguishable to
-        IABot, which is precisely the paper's point.
+        Returns ``None`` when no qualifying copy exists, when every
+        allowed attempt times out, and when the API errors transiently
+        past the retry budget — all indistinguishable to IABot, which
+        is precisely the paper's point.
         """
         self.lookups += 1
         try:
-            result = self._api.lookup(
-                url, around=posted_at, timeout_ms=self._timeout_ms
+            result = call_with_retry(
+                lambda: self._api.lookup(
+                    url, around=posted_at, timeout_ms=self._timeout_ms
+                ),
+                self._retry_policy,
+                key=f"availability:{url}",
+                counters=self.retry_counters,
+                retryable=_lookup_retryable,
             )
         except ArchiveTimeout:
             self.timeouts += 1
+            return None
+        except ArchiveError as exc:
+            if not is_transient(exc):
+                raise
+            # A 5xx/429 the budget could not outlast: the bot logs it
+            # and proceeds exactly as if the link were never archived.
+            self.errors += 1
             return None
         return result.snapshot

@@ -13,6 +13,7 @@ from typing import Protocol
 
 from ..clock import SimTime
 from ..errors import ConnectionTimeout, DnsError, UrlError
+from ..retry import RetryCounters, RetryPolicy, call_with_retry
 from ..urls.parse import ParsedUrl, parse_url
 from .dns import DnsTable
 from .http import HttpRequest, HttpResponse
@@ -97,6 +98,11 @@ class Fetcher:
         dns: the simulated DNS table.
         origin: the server fabric (the live web, in practice).
         max_redirects: hop budget before giving up with outcome OTHER.
+        retry_policy: backoff schedule for *transient* DNS/connect
+            failures (see :mod:`repro.retry`); ``None`` (the default)
+            never retries, reproducing the retry-less client exactly.
+            Permanent failures — NXDOMAIN, a dead origin — are never
+            retried regardless of policy.
     """
 
     def __init__(
@@ -104,16 +110,34 @@ class Fetcher:
         dns: DnsTable,
         origin: OriginServer,
         max_redirects: int = DEFAULT_MAX_REDIRECTS,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._dns = dns
         self._origin = origin
         self._max_redirects = max_redirects
+        self._retry_policy = retry_policy
         self._fetch_count = 0
+        self.retry_counters = RetryCounters()
 
     @property
     def fetch_count(self) -> int:
         """Number of fetches issued (for efficiency accounting)."""
         return self._fetch_count
+
+    @property
+    def retry_count(self) -> int:
+        """Transient-failure retries performed across all fetches."""
+        return self.retry_counters.retries
+
+    @property
+    def giveup_count(self) -> int:
+        """Transient failures that survived the whole retry budget."""
+        return self.retry_counters.giveups
+
+    @property
+    def backoff_ms(self) -> float:
+        """Total virtual backoff delay accumulated while retrying."""
+        return self.retry_counters.backoff_ms
 
     def fetch(self, url: str | ParsedUrl, at: SimTime) -> FetchResult:
         """GET ``url`` at simulated time ``at``, following redirects.
@@ -133,8 +157,14 @@ class Fetcher:
         chain: list[HttpResponse] = []
         seen: set[str] = set()
         for _ in range(self._max_redirects + 1):
+            host = current.host_lower
             try:
-                record = self._dns.resolve(current.host_lower, at)
+                record = call_with_retry(
+                    lambda: self._dns.resolve(host, at),
+                    self._retry_policy,
+                    key=f"dns:{host}",
+                    counters=self.retry_counters,
+                )
             except DnsError as exc:
                 if chain:
                     # A redirect pointed at a dead hostname; the final
@@ -149,9 +179,13 @@ class Fetcher:
                 return FetchResult(
                     url=requested, outcome=Outcome.DNS_FAILURE, error=str(exc)
                 )
+            request = HttpRequest(url=current)
             try:
-                response = self._origin.handle(
-                    record.address, HttpRequest(url=current), at
+                response = call_with_retry(
+                    lambda: self._origin.handle(record.address, request, at),
+                    self._retry_policy,
+                    key=f"connect:{current}",
+                    counters=self.retry_counters,
                 )
             except ConnectionTimeout as exc:
                 if chain:

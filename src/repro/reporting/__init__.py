@@ -24,3 +24,8 @@ __all__ = [
     "render_cdf",
     "render_table",
 ]
+
+# NOTE: .golden is intentionally not imported here — it pulls in the
+# full study pipeline, which plain figure-rendering consumers (the
+# benchmark harness) should not pay for. Import repro.reporting.golden
+# directly where the snapshot machinery is needed.

@@ -17,6 +17,7 @@ from repro.archive.cdx import CdxQuery, MatchType
 from repro.dataset.worldgen import WorldConfig, generate_world
 from repro.exec import CachingCdxApi, CachingFetcher, StudyExecutor
 from repro.exec.executor import _shard_spans
+from repro.faults import DEFAULT_MASKING_POLICY, FaultPlan
 
 
 @pytest.fixture(scope="module")
@@ -200,3 +201,65 @@ class TestExecutorEquivalence:
         )
         assert parallel == small_report
         assert_reports_identical(small_report, parallel)
+
+
+# -- retry counter aggregation -----------------------------------------------------
+
+
+class TestRetryStatsAggregation:
+    """StudyStats retry accounting must be exact across topologies."""
+
+    def test_fault_free_runs_leave_retry_counters_zero(self, tiny_world):
+        for executor in (None, StudyExecutor(workers=3)):
+            stats = _fresh_study(tiny_world).run(executor).stats
+            assert stats.fetch_retries == 0
+            assert stats.fetch_giveups == 0
+            assert stats.cdx_retries == 0
+            assert stats.cdx_giveups == 0
+            assert stats.backoff_ms == 0.0
+            assert stats.total_retries == 0
+            assert stats.retry_giveup_rate == 0.0
+
+    def test_serial_masked_accounting_matches_injected_faults(self, tiny_world):
+        # Every injected transient is masked by exactly one successful
+        # retry bout, so the study totals must equal the injectors'
+        # own fault counts — the end-to-end accounting cross-check.
+        plan = FaultPlan.transient_everywhere(rate=0.2, seed=5)
+        study = Study.from_world(
+            tiny_world, faults=plan, retry_policy=DEFAULT_MASKING_POLICY
+        )
+        stats = study.run().stats
+        dns = study.fetcher._dns.channel.injected
+        connect = study.fetcher._origin.channel.injected
+        assert stats.fetch_retries == dns + connect > 0
+        assert stats.cdx_retries == study.cdx.injected > 0
+        assert stats.total_giveups == 0
+        assert stats.backoff_ms > 0.0
+        assert "retries: fetch" in stats.summary()
+
+    def test_parallel_folds_worker_shard_deltas(self, tiny_world):
+        plan = FaultPlan.transient_everywhere(rate=0.2, seed=5)
+        serial = Study.from_world(
+            tiny_world, faults=plan, retry_policy=DEFAULT_MASKING_POLICY
+        ).run()
+        parallel = Study.from_world(
+            tiny_world, faults=plan, retry_policy=DEFAULT_MASKING_POLICY
+        ).run(StudyExecutor(workers=3))
+        assert serial == parallel
+        assert_reports_identical(serial, parallel)
+        # Worker processes re-encounter keys their siblings already
+        # cleared, so the parallel run can only retry *more* — and the
+        # executor must have folded those shard deltas in, not lost
+        # them on the way back from the pool.
+        assert parallel.stats.total_retries >= serial.stats.total_retries > 0
+        assert parallel.stats.total_giveups == 0
+        assert parallel.stats.backoff_ms >= serial.stats.backoff_ms > 0.0
+
+    def test_study_policy_inherited_by_default_executor(self, tiny_world):
+        plan = FaultPlan.transient_archive(rate=0.2, seed=5)
+        study = Study.from_world(
+            tiny_world, faults=plan, retry_policy=DEFAULT_MASKING_POLICY
+        )
+        report = study.run()  # no executor passed: Study must arm it
+        assert report.stats.cdx_retries > 0
+        assert report.stats.cdx_giveups == 0

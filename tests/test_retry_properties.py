@@ -1,0 +1,220 @@
+"""Property tests for the retry/backoff schedule (repro.retry).
+
+The retry layer underwrites the differential harness's masking
+invariant, so its own guarantees get property-level coverage:
+schedules are deterministic per (policy, key), every delay respects
+the cap, the total never exceeds the budget, jitter only shrinks, and
+the zero-retry default is *exactly* the call-once behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ArchiveUnavailable, DnsServfail, ReproError
+from repro.retry import (
+    RetryCounters,
+    RetryPolicy,
+    call_with_retry,
+    is_transient,
+)
+
+policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(min_value=0, max_value=16),
+    base_delay_ms=st.floats(min_value=0.0, max_value=1_000.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay_ms=st.floats(min_value=0.0, max_value=10_000.0),
+    budget_ms=st.floats(min_value=0.0, max_value=100_000.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+
+keys = st.text(min_size=1, max_size=40)
+
+
+class _Flaky:
+    """An operation that fails transiently ``failures`` times."""
+
+    def __init__(self, failures: int, exc: Exception | None = None):
+        self.remaining = failures
+        self.calls = 0
+        self.exc = exc if exc is not None else DnsServfail("x.example.com")
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc
+        return "ok"
+
+
+# -- schedule shape ----------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(policy=policies, key=keys)
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic_per_policy_and_key(self, policy, key):
+        assert policy.schedule(key) == policy.schedule(key)
+        clone = RetryPolicy(**{
+            f: getattr(policy, f)
+            for f in (
+                "max_retries", "base_delay_ms", "multiplier",
+                "max_delay_ms", "budget_ms", "jitter", "seed",
+            )
+        })
+        assert clone.schedule(key) == policy.schedule(key)
+
+    @given(policy=policies, key=keys)
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_cap_budget_and_attempts(self, policy, key):
+        schedule = policy.schedule(key)
+        assert len(schedule) <= policy.max_retries
+        assert all(0.0 <= d <= policy.max_delay_ms for d in schedule)
+        assert sum(schedule) <= policy.budget_ms
+
+    @given(policy=policies, key=keys)
+    @settings(max_examples=80, deadline=None)
+    def test_jitter_only_shrinks(self, policy, key):
+        unjittered = RetryPolicy(
+            max_retries=policy.max_retries,
+            base_delay_ms=policy.base_delay_ms,
+            multiplier=policy.multiplier,
+            max_delay_ms=policy.max_delay_ms,
+            budget_ms=policy.budget_ms,
+            jitter=0.0,
+            seed=policy.seed,
+        )
+        for attempt in range(policy.max_retries):
+            raw = unjittered.delay_ms(key, attempt)
+            jittered = policy.delay_ms(key, attempt)
+            assert jittered <= raw
+            assert jittered >= raw * (1.0 - policy.jitter) - 1e-9
+
+    @given(key=keys, retries=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=50, deadline=None)
+    def test_unjittered_schedule_is_monotone_until_capped(self, key, retries):
+        policy = RetryPolicy(
+            max_retries=retries,
+            base_delay_ms=50.0,
+            multiplier=2.0,
+            max_delay_ms=800.0,
+            budget_ms=1e9,
+        )
+        schedule = policy.schedule(key)
+        assert len(schedule) == retries
+        assert list(schedule) == sorted(schedule)
+        assert schedule[-1] <= 800.0
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(budget_ms=-1.0)
+
+
+# -- call_with_retry ---------------------------------------------------------------
+
+
+class TestCallWithRetry:
+    @given(failures=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_success_after_k_transients(self, failures):
+        policy = RetryPolicy(max_retries=6, base_delay_ms=10.0, budget_ms=1e9)
+        op = _Flaky(failures)
+        counters = RetryCounters()
+        assert call_with_retry(op, policy, key="k", counters=counters) == "ok"
+        assert op.calls == failures + 1
+        assert counters.retries == failures
+        assert counters.giveups == 0
+        assert counters.backoff_ms == pytest.approx(
+            sum(policy.schedule("k")[:failures])
+        )
+
+    @given(extra=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_exhaustion_gives_up_with_exact_accounting(self, extra):
+        policy = RetryPolicy(max_retries=3, base_delay_ms=10.0, budget_ms=1e9)
+        op = _Flaky(policy.max_retries + extra)
+        counters = RetryCounters()
+        with pytest.raises(DnsServfail):
+            call_with_retry(op, policy, key="k", counters=counters)
+        assert op.calls == policy.max_retries + 1
+        assert counters.retries == policy.max_retries
+        assert counters.giveups == 1
+        assert counters.backoff_ms == pytest.approx(sum(policy.schedule("k")))
+
+    def test_budget_bites_before_attempt_limit(self):
+        # Delays 100, 200, 400…: a 250ms budget grants only the first.
+        policy = RetryPolicy(max_retries=10, base_delay_ms=100.0, budget_ms=250.0)
+        assert policy.schedule("k") == (100.0,)
+        op = _Flaky(10)
+        counters = RetryCounters()
+        with pytest.raises(DnsServfail):
+            call_with_retry(op, policy, key="k", counters=counters)
+        assert op.calls == 2
+        assert counters.retries == 1 and counters.giveups == 1
+
+    @given(policy=st.one_of(st.none(), st.just(RetryPolicy(max_retries=0))))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_retry_is_exactly_call_once(self, policy):
+        op = _Flaky(0)
+        counters = RetryCounters()
+        assert call_with_retry(op, policy, key="k", counters=counters) == "ok"
+        assert op.calls == 1
+        assert counters == RetryCounters()
+
+        marker = DnsServfail("dead.example.com")
+        failing = _Flaky(99, exc=marker)
+        with pytest.raises(DnsServfail) as caught:
+            call_with_retry(failing, policy, key="k", counters=counters)
+        # The very exception object propagates untouched, first try.
+        assert caught.value is marker
+        assert failing.calls == 1
+        assert counters == RetryCounters()
+
+    def test_non_transient_exceptions_never_retried(self):
+        policy = RetryPolicy(max_retries=5, base_delay_ms=10.0)
+        op = _Flaky(3, exc=ValueError("not ours"))
+        counters = RetryCounters()
+        with pytest.raises(ValueError):
+            call_with_retry(op, policy, key="k", counters=counters)
+        assert op.calls == 1
+        assert counters == RetryCounters()
+
+    def test_custom_retryable_predicate_overrides_default(self):
+        policy = RetryPolicy(max_retries=5, base_delay_ms=10.0)
+        op = _Flaky(2, exc=ValueError("flaky dependency"))
+        counters = RetryCounters()
+        result = call_with_retry(
+            op,
+            policy,
+            key="k",
+            counters=counters,
+            retryable=lambda exc: isinstance(exc, ValueError),
+        )
+        assert result == "ok"
+        assert counters.retries == 2
+
+
+# -- transience classification -----------------------------------------------------
+
+
+class TestIsTransient:
+    def test_library_transients_are_flagged(self):
+        assert is_transient(DnsServfail("x.example.com"))
+        assert is_transient(ArchiveUnavailable("cdx"))
+        assert not is_transient(ReproError("generic"))
+        assert not is_transient(ValueError("foreign"))
+
+    def test_counters_merge_adds_componentwise(self):
+        a = RetryCounters(retries=2, giveups=1, backoff_ms=300.0)
+        a.merge(RetryCounters(retries=3, giveups=0, backoff_ms=50.0))
+        assert a == RetryCounters(retries=5, giveups=1, backoff_ms=350.0)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.exec.stats: counters, rates, and formatting.
+
+:class:`StudyStats` is pure arithmetic plus one string renderer, but
+``full_run`` and the benchmarks print it verbatim, so its zero-safety
+(:func:`_rate`) and its summary format are pinned down here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.stats import StudyStats, _rate
+
+
+class TestRate:
+    def test_plain_division(self):
+        assert _rate(1, 2) == 0.5
+        assert _rate(3, 4) == 0.75
+        assert _rate(0, 5) == 0.0
+        assert _rate(5, 5) == 1.0
+
+    def test_empty_denominator_degrades_to_zero(self):
+        assert _rate(0, 0) == 0.0
+        assert _rate(7, 0) == 0.0  # never raises, whatever the numerator
+
+
+class TestCounterIntake:
+    def test_fetch_counts_accumulate(self):
+        stats = StudyStats()
+        stats.add_fetch_counts(hits=3, misses=7)
+        stats.add_fetch_counts(hits=2, misses=0)
+        assert stats.fetches == 12
+        assert stats.fetch_cache_hits == 5
+        assert stats.backend_fetches == 7
+        assert stats.fetch_cache_hit_rate == pytest.approx(5 / 12)
+
+    def test_cdx_counts_accumulate(self):
+        stats = StudyStats()
+        stats.add_cdx_counts(hits=8, misses=2)
+        assert stats.cdx_queries == 10
+        assert stats.cdx_cache_hit_rate == pytest.approx(0.8)
+
+    def test_retry_counts_accumulate_across_calls(self):
+        stats = StudyStats()
+        stats.add_retry_counts(fetch_retries=2, backoff_ms=300.0)
+        stats.add_retry_counts(
+            fetch_retries=1, fetch_giveups=1, cdx_retries=4, backoff_ms=50.0
+        )
+        stats.add_retry_counts(cdx_giveups=2)
+        assert stats.fetch_retries == 3
+        assert stats.fetch_giveups == 1
+        assert stats.cdx_retries == 4
+        assert stats.cdx_giveups == 2
+        assert stats.backoff_ms == pytest.approx(350.0)
+        assert stats.total_retries == 7
+        assert stats.total_giveups == 3
+        assert stats.retry_giveup_rate == pytest.approx(3 / 10)
+
+    def test_fresh_stats_report_zero_rates(self):
+        stats = StudyStats()
+        assert stats.fetch_cache_hit_rate == 0.0
+        assert stats.cdx_cache_hit_rate == 0.0
+        assert stats.retry_giveup_rate == 0.0
+        assert stats.total_seconds == 0.0
+
+
+class TestPhaseTiming:
+    def test_phases_record_and_repeat_additively(self):
+        stats = StudyStats()
+        with stats.phase("probe"):
+            pass
+        first = stats.phase_seconds["probe"]
+        assert first >= 0.0
+        with stats.phase("probe"):
+            pass
+        assert stats.phase_seconds["probe"] >= first
+        assert stats.total_seconds == pytest.approx(
+            sum(stats.phase_seconds.values())
+        )
+
+    def test_phase_records_even_when_body_raises(self):
+        stats = StudyStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("doomed"):
+                raise RuntimeError("boom")
+        assert "doomed" in stats.phase_seconds
+
+
+class TestSummaryFormatting:
+    def test_quiet_run_renders_zeroes_not_errors(self):
+        text = StudyStats().summary()
+        assert "1 worker(s), 1 shard(s)" in text
+        assert "phases: none recorded" in text
+        assert "cache hit rate 0.0%" in text
+        assert (
+            "retries: fetch 0 (gave up 0), cdx 0 (gave up 0); "
+            "virtual backoff 0 ms" in text
+        )
+
+    def test_busy_run_renders_every_counter(self):
+        stats = StudyStats(workers=4, shards=8)
+        stats.add_fetch_counts(hits=75, misses=25)
+        stats.add_cdx_counts(hits=40, misses=60)
+        stats.add_retry_counts(
+            fetch_retries=12,
+            fetch_giveups=1,
+            cdx_retries=7,
+            cdx_giveups=2,
+            backoff_ms=1234.56,
+        )
+        text = stats.summary()
+        assert "4 worker(s), 8 shard(s)" in text
+        assert "fetches: 100 issued, 25 reached the network" in text
+        assert "cache hit rate 75.0%" in text
+        assert "cdx queries: 100 issued, 60 reached the API" in text
+        assert "cache hit rate 40.0%" in text
+        assert "retries: fetch 12 (gave up 1), cdx 7 (gave up 2)" in text
+        assert "virtual backoff 1235 ms" in text
+
+    def test_summary_is_line_per_topic(self):
+        lines = StudyStats().summary().splitlines()
+        assert len(lines) == 5
+        topics = ("executor:", "phases:", "fetches:", "cdx queries:", "retries:")
+        assert all(line.startswith(t) for line, t in zip(lines, topics))
