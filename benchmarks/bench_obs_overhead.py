@@ -1,0 +1,105 @@
+"""T-obs — tracing overhead: the observability layer must be ~free.
+
+Runs the same study slice with the tracer off and on and compares wall
+time. The layer's contract is that the untraced hot path is untouched
+(every hook is a ``tracer is None`` branch) and the traced path stays
+within a few percent; the acceptance bar for the observability PR is
+<= 5% overhead on the traced run.
+
+Writes ``BENCH_obs.json`` at the repo root with both wall times, the
+overhead fraction, and the span volume, so the number is auditable
+from the working tree (EXPERIMENTS.md quotes it).
+
+Both runs must produce the identical report — tracing that changed the
+measurement would be a bug, not overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.study import Study, StudyReport
+from repro.exec import StudyExecutor
+from repro.obs import Tracer, kind_counts
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Records per run: enough stage work that per-record costs dominate
+#: pool/world constants, small enough for two runs per session.
+SLICE = 1200
+
+#: (report, wall seconds, span count) per variant, for the comparison.
+_runs: dict[bool, tuple[StudyReport, float, int]] = {}
+
+
+@pytest.fixture(scope="module")
+def base_study(world):
+    """One collected study; each run re-wraps its (read-only) pieces."""
+    return Study.from_world(world)
+
+
+@pytest.mark.parametrize("traced", (False, True), ids=("off", "on"))
+def test_obs_overhead(benchmark, base_study, traced):
+    records = base_study.records[:SLICE]
+
+    def run() -> tuple[StudyReport, float, int]:
+        # Fresh Study per run: RNG streams advance during a run, and
+        # every run must start from the same seeded state.
+        study = Study(
+            records=records,
+            fetcher=base_study.fetcher,
+            cdx=base_study.cdx,
+            at=base_study.at,
+        )
+        tracer = Tracer() if traced else None
+        start = time.perf_counter()
+        report = study.run(executor=StudyExecutor(workers=1), tracer=tracer)
+        wall = time.perf_counter() - start
+        return report, wall, len(tracer.spans) if tracer else 0
+
+    report, wall, spans = benchmark.pedantic(run, rounds=1, iterations=1)
+    _runs[traced] = (report, wall, spans)
+
+    print()
+    print(f"-- tracer {'on' if traced else 'off'}, {len(records)} records --")
+    print(f"wall: {wall:.3f}s, spans: {spans}")
+    print(report.stats.summary())
+
+    if traced and False in _runs:
+        untraced_report, untraced_wall, _ = _runs[False]
+        assert report == untraced_report, "tracing changed the measurement"
+        overhead = wall / max(untraced_wall, 1e-9) - 1.0
+        payload = {
+            "records": len(records),
+            "untraced_seconds": round(untraced_wall, 4),
+            "traced_seconds": round(wall, 4),
+            "overhead_frac": round(overhead, 4),
+            "spans": spans,
+        }
+        out = REPO_ROOT / "BENCH_obs.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"overhead: {overhead:+.1%} -> {out.name}")
+        print(
+            "span volume: "
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in kind_counts_of(report, spans).items()
+            )
+        )
+        # Generous ceiling: single-round wall clocks are noisy on a
+        # loaded CI box; the PR's acceptance bar (5%) is checked on
+        # the recorded JSON from a quiet run.
+        assert overhead < 0.25, f"tracing overhead {overhead:.1%}"
+
+
+def kind_counts_of(report: StudyReport, spans: int) -> dict[str, int]:
+    """Span-kind summary for the printout (report-derived, cheap)."""
+    return {
+        "total": spans,
+        "records": len(report.probes),
+        "phases": len(report.stats.phase_seconds),
+    }

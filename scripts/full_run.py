@@ -21,12 +21,22 @@ With a transient plan and ``--retries`` at the plan's required depth,
 the printed report is byte-identical to the fault-free run — only the
 ``retries:`` line of the stats block shows the recovered faults.
 
+Observability options record the run without changing it (a traced
+report is byte-identical to an untraced one)::
+
+    --trace PATH         append the span tree (study → phase → shard →
+                         record → backend call) as JSONL; feed it to
+                         scripts/trace_report.py
+    --metrics-json PATH  dump the full StudyStats metrics registry
+                         (counters, gauges, histograms) as JSON
+
 ``--update-golden`` regenerates the committed golden snapshot
 (tests/golden/study_report_tiny.md) that tier-1 compares against, then
 exits.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -36,6 +46,7 @@ from repro.analysis.study import Study
 from repro.dataset.worldgen import WorldConfig, generate_world
 from repro.exec import StudyExecutor
 from repro.faults import DEFAULT_MASKING_POLICY, FaultPlan, RetryPolicy
+from repro.obs import Tracer
 from repro.net.status import Outcome
 from repro.reporting.cdf import ecdf
 from repro.reporting.figures import render_bar_chart, render_cdf
@@ -90,6 +101,20 @@ def parse_args(argv):
         "no-retry clients exactly (REPRO_RETRIES)",
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append the run's span tree as JSONL (see trace_report.py)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="dump the run's metrics registry as JSON",
+    )
+    parser.add_argument(
         "--update-golden",
         action="store_true",
         help="regenerate tests/golden/study_report_tiny.md and exit",
@@ -130,6 +155,8 @@ def main(argv=None) -> int:
     faults = build_faults(args)
     retry_policy = build_retry_policy(args)
 
+    tracer = Tracer() if args.trace is not None else None
+
     t0 = time.time()
     world = generate_world(
         WorldConfig(
@@ -141,12 +168,27 @@ def main(argv=None) -> int:
     t1 = time.time()
     report = Study.from_world(
         world, faults=faults, retry_policy=retry_policy
-    ).run(executor=StudyExecutor(workers=args.workers))
-    t2 = time.time()
+    ).run(executor=StudyExecutor(workers=args.workers), tracer=tracer)
+
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+    if args.metrics_json is not None:
+        args.metrics_json.write_text(
+            json.dumps(report.stats.as_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
 
     n = report.sample_size
     print(f"# world: {world.summary()}")
-    print(f"# generation {t1 - t0:.0f}s, study {t2 - t1:.0f}s")
+    # The study figure comes from the stats' own phase timers rather
+    # than a second ad-hoc clock around .run(), so this line, the
+    # stats block below, and any trace report all agree.
+    print(
+        f"# generation {t1 - t0:.2f}s, "
+        f"study {report.stats.total_seconds:.2f}s"
+    )
+    if tracer is not None:
+        print(f"# trace: {len(tracer.spans)} spans -> {args.trace}")
     if faults is not None:
         print(f"# faults: {faults.describe()}")
         print(

@@ -34,6 +34,7 @@ from ..exec import (
 from ..faults import FaultPlan, faulty_cdx, faulty_fetcher
 from ..net.fetch import Fetcher
 from ..net.status import Outcome
+from ..obs.trace import Tracer
 from ..retry import RetryCounters, RetryPolicy
 from ..rng import RngRegistry
 from .copies import CopyCensus
@@ -235,7 +236,11 @@ class Study:
             retry_policy=retry_policy,
         )
 
-    def run(self, executor: StudyExecutor | None = None) -> StudyReport:
+    def run(
+        self,
+        executor: StudyExecutor | None = None,
+        tracer: Tracer | None = None,
+    ) -> StudyReport:
         """Execute §3, §4, and §5 and assemble the report.
 
         ``executor`` controls sharding; the default runs in-process.
@@ -243,6 +248,14 @@ class Study:
         :class:`~repro.exec.StudyStats` differs. The study's retry
         policy is handed to the executor's caching wrappers unless the
         executor already carries one of its own.
+
+        ``tracer`` records the full span hierarchy (study → phase →
+        shard → record → backend call) of the run; worker shards
+        buffer their spans and the executor grafts them back in.
+        Tracing never changes the measurement: a traced run's report
+        is byte-identical to an untraced one, and serial vs parallel
+        traced runs agree on every aggregate metric (span ids and
+        wall timings excluded, by definition).
         """
         executor = executor if executor is not None else StudyExecutor(workers=1)
         if self.retry_policy is not None and executor.retry_policy is None:
@@ -252,10 +265,35 @@ class Study:
         stats = StudyStats(workers=executor.resolved_workers)
         dataset = Dataset(records=list(self.records), description="our dataset")
 
+        study_cm = (
+            tracer.span(
+                "study", kind="study", sim=self.at,
+                records=len(self.records),
+                workers=executor.resolved_workers,
+            )
+            if tracer is not None
+            else None
+        )
+        if study_cm is not None:
+            study_cm.__enter__()
+        try:
+            report = self._run_phases(executor, stats, dataset, tracer)
+        finally:
+            if study_cm is not None:
+                study_cm.__exit__(None, None, None)
+        return report
+
+    def _run_phases(
+        self,
+        executor: StudyExecutor,
+        stats: StudyStats,
+        dataset: Dataset,
+        tracer: Tracer | None,
+    ) -> StudyReport:
         # §3 probe + §4 census + §4.2 validation: the sharded stage.
-        with stats.phase("probe+census"):
+        with stats.phase("probe+census", tracer=tracer):
             stage = executor.execute(
-                self.records, self.fetcher, self.cdx, self.at, stats
+                self.records, self.fetcher, self.cdx, self.at, stats, tracer
             )
         stats.shards = stage.shards
         probes = [outcome.probe for outcome in stage.outcomes]
@@ -267,7 +305,7 @@ class Study:
         detector = Soft404Detector(stage.fetcher, self.rngs.stream("soft404"))
         verdicts: list[Soft404Verdict] = []
         alive_probes: list[LiveProbe] = []
-        with stats.phase("soft404"):
+        with stats.phase("soft404", tracer=tracer):
             for probe in probes:
                 if not probe.returned_200:
                     continue
@@ -296,12 +334,12 @@ class Study:
         )
 
         # §5.1 temporal + §5.2 spatial/typos, over the seeded caches.
-        with stats.phase("temporal"):
+        with stats.phase("temporal", tracer=tracer):
             temporal = temporal_analysis(rest_with_copy, stage.cdx)
         never_records = [c.record for c in never_archived]
-        with stats.phase("spatial"):
+        with stats.phase("spatial", tracer=tracer):
             spatial = spatial_analysis(never_records, stage.cdx)
-        with stats.phase("typos"):
+        with stats.phase("typos", tracer=tracer):
             typos = find_typos(never_records, stage.cdx)
 
         stats.add_fetch_counts(stage.fetcher.hits, stage.fetcher.misses)

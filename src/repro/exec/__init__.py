@@ -11,7 +11,16 @@ production-shaped one without changing a single measured number:
 - :class:`CachingCdxApi` / :class:`CachingFetcher` — exact memo caches
   over the two backends, with hit/miss accounting;
 - :class:`StudyStats` — per-phase wall time plus fetch/query/cache
-  counters, attached to every study report.
+  counters, attached to every study report; a thin view over a
+  :class:`~repro.obs.metrics.MetricsRegistry` so worker shards can
+  buffer their own metrics and the executor folds them exactly.
+
+Observability threads through the same seams (see :mod:`repro.obs`):
+pass ``tracer=`` to :meth:`StudyExecutor.execute` (or to
+``Study.run``) and every shard, record, and backend call records a
+span; worker shards buffer spans and registries that the executor
+grafts back on merge. All of it is opt-in and inert — traced and
+untraced runs produce byte-identical reports.
 """
 
 from .cache import CachingCdxApi, CachingFetcher

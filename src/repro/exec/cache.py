@@ -27,6 +27,7 @@ from ..archive.cdx import CdxApi, CdxQuery, MatchType
 from ..archive.snapshot import Snapshot
 from ..clock import SimTime
 from ..net.fetch import Fetcher, FetchResult
+from ..obs.trace import Tracer
 from ..retry import RetryCounters, RetryPolicy, call_with_retry
 from ..urls.parse import ParsedUrl, parse_url
 from ..urls.psl import default_psl
@@ -48,13 +49,22 @@ class CachingCdxApi:
     (a :class:`~repro.errors.CdxRateLimited` window, a 5xx burst from
     a fault-injected backend), so a masked transient is *also* a memo
     entry — one recovery serves every repeat of the query.
+
+    A ``tracer`` records one ``kind="backend.cdx"`` span per memo miss
+    — the queries that actually reached the API, with their retry and
+    virtual-backoff cost. Memo hits are deliberately span-free: the
+    trace answers "where did backend time go", and a hit costs none.
     """
 
     def __init__(
-        self, inner: CdxApi, retry_policy: RetryPolicy | None = None
+        self,
+        inner: CdxApi,
+        retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._inner = inner
         self._retry_policy = retry_policy
+        self._tracer = tracer
         self._query_memo: dict[object, tuple[Snapshot, ...]] = {}
         self._urls_memo: dict[object, tuple[str, ...]] = {}
         self.hits = 0
@@ -118,15 +128,42 @@ class CachingCdxApi:
         # keys the memo for every link sharing the scope.
         return replace(request, url=scope, exclude_self=False)
 
+    def _backend_call(self, op, retry_key: str, name: str, request: CdxQuery):
+        """One actual backend query, retried and (optionally) traced."""
+        if self._tracer is None:
+            return call_with_retry(
+                op, self._retry_policy, key=retry_key,
+                counters=self.retry_counters,
+            )
+        retries_before = self.retry_counters.retries
+        backoff_before = self.retry_counters.backoff_ms
+        with self._tracer.span(
+            name,
+            kind="backend.cdx",
+            url=request.url,
+            match=request.match_type.name,
+        ) as span:
+            result = call_with_retry(
+                op, self._retry_policy, key=retry_key,
+                counters=self.retry_counters,
+            )
+            span.add_virtual_ms(
+                self.retry_counters.backoff_ms - backoff_before
+            )
+            retries = self.retry_counters.retries - retries_before
+            if retries:
+                span.set(retries=retries)
+            return result
+
     def _memoized_query(self, request: CdxQuery) -> tuple[Snapshot, ...]:
         rows = self._query_memo.get(request)
         if rows is None:
             self.misses += 1
-            rows = call_with_retry(
+            rows = self._backend_call(
                 lambda: self._inner.query(request),
-                self._retry_policy,
-                key=f"cdx.query:{request!r}",
-                counters=self.retry_counters,
+                retry_key=f"cdx.query:{request!r}",
+                name="cdx.query",
+                request=request,
             )
             self._query_memo[request] = rows
         else:
@@ -137,11 +174,11 @@ class CachingCdxApi:
         urls = self._urls_memo.get(request)
         if urls is None:
             self.misses += 1
-            urls = call_with_retry(
+            urls = self._backend_call(
                 lambda: self._inner.archived_urls(request),
-                self._retry_policy,
-                key=f"cdx.urls:{request!r}",
-                counters=self.retry_counters,
+                retry_key=f"cdx.urls:{request!r}",
+                name="cdx.archived_urls",
+                request=request,
             )
             self._urls_memo[request] = urls
         else:
@@ -165,13 +202,21 @@ class CachingFetcher:
     :class:`FetchResult` — so this stays inert for the common stack;
     it exists for fetch-shaped backends that surface transport errors
     as exceptions.
+
+    A ``tracer`` records one ``kind="backend.fetch"`` span per memo
+    miss — the fetches that actually touched the (simulated) network,
+    with the resulting Figure-4 outcome attached.
     """
 
     def __init__(
-        self, inner: Fetcher, retry_policy: RetryPolicy | None = None
+        self,
+        inner: Fetcher,
+        retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._inner = inner
         self._retry_policy = retry_policy
+        self._tracer = tracer
         self._memo: dict[tuple[str, float], FetchResult] = {}
         self.hits = 0
         self.misses = 0
@@ -194,16 +239,38 @@ class CachingFetcher:
         result = self._memo.get(key)
         if result is None:
             self.misses += 1
+            result = self._backend_fetch(url, at, key)
+            self._memo[key] = result
+        else:
+            self.hits += 1
+        return result
+
+    def _backend_fetch(
+        self, url: str | ParsedUrl, at: SimTime, key: tuple[str, float]
+    ) -> FetchResult:
+        """One actual backend fetch, retried and (optionally) traced."""
+        if self._tracer is None:
+            return call_with_retry(
+                lambda: self._inner.fetch(url, at),
+                self._retry_policy,
+                key=f"fetch:{key[0]}@{key[1]}",
+                counters=self.retry_counters,
+            )
+        backoff_before = self.retry_counters.backoff_ms
+        with self._tracer.span(
+            "fetch", kind="backend.fetch", sim=at, url=key[0]
+        ) as span:
             result = call_with_retry(
                 lambda: self._inner.fetch(url, at),
                 self._retry_policy,
                 key=f"fetch:{key[0]}@{key[1]}",
                 counters=self.retry_counters,
             )
-            self._memo[key] = result
-        else:
-            self.hits += 1
-        return result
+            span.add_virtual_ms(
+                self.retry_counters.backoff_ms - backoff_before
+            )
+            span.set(outcome=result.outcome.value)
+            return result
 
     def seed(self, url: str, at: SimTime, result: FetchResult) -> None:
         """Pre-populate the memo with an already-observed result.

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 
 from ..archive.cdx import CdxApi
 from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher
+from ..obs.trace import Tracer
 from ..retry import RetryPolicy
 from .cache import CachingCdxApi, CachingFetcher
 from .stats import StudyStats
@@ -97,21 +99,28 @@ class StudyExecutor:
         cdx: CdxApi,
         at: SimTime,
         stats: StudyStats | None = None,
+        tracer: Tracer | None = None,
     ) -> StageResult:
         """Run the stage over ``records`` and merge in record order.
 
         ``fetcher`` and ``cdx`` are the *raw* backends; the executor
-        owns the caching. Worker cache counters are folded into
-        ``stats`` immediately; the returned parent-side caches carry
-        their own counters for the phases that follow.
+        owns the caching. Worker cache counters, buffered metrics
+        registries, shard wall times, and trace spans are folded into
+        ``stats`` / ``tracer`` immediately; the returned parent-side
+        caches carry their own counters (and emit into ``tracer``) for
+        the phases that follow.
         """
         workers = min(self.resolved_workers, max(len(records), 1))
-        parent_fetcher = CachingFetcher(fetcher, retry_policy=self.retry_policy)
-        parent_cdx = CachingCdxApi(cdx, retry_policy=self.retry_policy)
+        parent_fetcher = CachingFetcher(
+            fetcher, retry_policy=self.retry_policy, tracer=tracer
+        )
+        parent_cdx = CachingCdxApi(
+            cdx, retry_policy=self.retry_policy, tracer=tracer
+        )
 
         if workers <= 1:
             outcomes = self._execute_serial(
-                records, parent_fetcher, parent_cdx, at
+                records, parent_fetcher, parent_cdx, at, stats, tracer
             )
             self._last_shards = 1
             return StageResult(
@@ -123,7 +132,8 @@ class StudyExecutor:
 
         spans = _shard_spans(len(records), workers)
         shard_results = self._execute_parallel(
-            records, fetcher, cdx, at, spans, workers
+            records, fetcher, cdx, at, spans, workers,
+            trace=tracer is not None,
         )
         outcomes: list[RecordOutcome] = []
         for shard in sorted(shard_results, key=lambda s: s.start):
@@ -138,6 +148,11 @@ class StudyExecutor:
                     cdx_giveups=shard.cdx_giveups,
                     backoff_ms=shard.backoff_ms,
                 )
+                stats.add_shard_wall(shard.wall_seconds)
+                if shard.metrics is not None:
+                    stats.registry.merge(shard.metrics)
+            if tracer is not None and shard.trace_spans:
+                tracer.adopt(shard.trace_spans)
         for outcome in outcomes:
             parent_fetcher.seed(
                 outcome.record.url, at, outcome.probe.result
@@ -158,15 +173,34 @@ class StudyExecutor:
         fetcher: CachingFetcher,
         cdx: CachingCdxApi,
         at: SimTime,
+        stats: StudyStats | None = None,
+        tracer: Tracer | None = None,
     ) -> list[RecordOutcome]:
         from .worker import run_record_stage
 
-        return [
-            run_record_stage(
-                record, fetcher, cdx, at, self.max_redirect_copies
-            )
-            for record in records
-        ]
+        metrics = stats.registry if stats is not None else None
+        shard_cm = (
+            tracer.span("shard", kind="shard", start=0, stop=len(records))
+            if tracer is not None
+            else None
+        )
+        if shard_cm is not None:
+            shard_cm.__enter__()
+        wall_start = time.perf_counter()
+        try:
+            outcomes = [
+                run_record_stage(
+                    record, fetcher, cdx, at, self.max_redirect_copies,
+                    tracer=tracer, metrics=metrics,
+                )
+                for record in records
+            ]
+        finally:
+            if shard_cm is not None:
+                shard_cm.__exit__(None, None, None)
+        if stats is not None:
+            stats.add_shard_wall(time.perf_counter() - wall_start)
+        return outcomes
 
     def _execute_parallel(
         self,
@@ -176,6 +210,7 @@ class StudyExecutor:
         at: SimTime,
         spans: list[tuple[int, int]],
         workers: int,
+        trace: bool = False,
     ) -> list[ShardResult]:
         context = WorkerContext(
             records=records,
@@ -184,6 +219,7 @@ class StudyExecutor:
             at=at,
             max_redirect_copies=self.max_redirect_copies,
             retry_policy=self.retry_policy,
+            trace=trace,
         )
         method = self.start_method
         if method is None:

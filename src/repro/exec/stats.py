@@ -7,13 +7,30 @@ caches absorbed, and how the work was sharded. Every run of
 :meth:`Study.run <repro.analysis.study.Study.run>` attaches one to its
 report, which is what makes the perf trajectory measurable from PR to
 PR (``scripts/full_run.py`` and the benchmark suite both print it).
+
+Since the observability PR, ``StudyStats`` is a thin *view* over a
+:class:`~repro.obs.metrics.MetricsRegistry`: every counter it exposes
+is a named registry instrument, so worker shards can buffer their own
+registries and the executor folds them in exactly (the same motion the
+retry-counter deltas use), and ``scripts/full_run.py --metrics-json``
+can dump the whole registry machine-readably. The public attribute
+surface (``fetches``, ``phase_seconds``, ``summary()`` …) is
+unchanged.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from ..obs.trace import Tracer
+
+#: Registry prefix under which per-phase wall seconds live.
+_PHASE_PREFIX = "phase.seconds/"
 
 
 def _rate(hits: int, total: int) -> float:
@@ -26,11 +43,12 @@ def _rate(hits: int, total: int) -> float:
     return hits / total if total else 0.0
 
 
-@dataclass
 class StudyStats:
-    """Cost accounting for one study run.
+    """Cost accounting for one study run, viewed over a metrics registry.
 
     Attributes:
+        registry: the backing :class:`~repro.obs.metrics.MetricsRegistry`
+            (shared with the executor's fold-on-merge path).
         workers: worker processes the executor ran with (1 = serial).
         shards: number of record shards the stage was split into.
         phase_seconds: wall time per pipeline phase, in execution order.
@@ -49,46 +67,82 @@ class StudyStats:
             what the run would have spent sleeping on a wall clock.
     """
 
-    workers: int = 1
-    shards: int = 1
-    phase_seconds: dict[str, float] = field(default_factory=dict)
-    fetches: int = 0
-    backend_fetches: int = 0
-    fetch_cache_hits: int = 0
-    cdx_queries: int = 0
-    backend_cdx_queries: int = 0
-    cdx_cache_hits: int = 0
-    fetch_retries: int = 0
-    fetch_giveups: int = 0
-    cdx_retries: int = 0
-    cdx_giveups: int = 0
-    backoff_ms: float = 0.0
+    def __init__(
+        self,
+        workers: int = 1,
+        shards: int = 1,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.workers = workers
+        self.shards = shards
+
+    # -- executor topology (gauges) ----------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return int(self.registry.gauge("executor.workers").value)
+
+    @workers.setter
+    def workers(self, value: int) -> None:
+        self.registry.gauge("executor.workers").set(value)
+
+    @property
+    def shards(self) -> int:
+        return int(self.registry.gauge("executor.shards").value)
+
+    @shards.setter
+    def shards(self, value: int) -> None:
+        self.registry.gauge("executor.shards").set(value)
+
+    # -- phase timing ------------------------------------------------------------
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Wall time per pipeline phase, in first-recorded order."""
+        return {
+            name[len(_PHASE_PREFIX):]: value
+            for name, value in self.registry.counters(
+                _PHASE_PREFIX, sort=False
+            ).items()
+        }
 
     @contextmanager
-    def phase(self, name: str):
-        """Time one pipeline phase (additive on repeated names)."""
+    def phase(self, name: str, tracer: "Tracer | None" = None):
+        """Time one pipeline phase (additive on repeated names).
+
+        With a ``tracer``, the elapsed block is also recorded as a
+        ``kind="phase"`` span carrying *exactly* the seconds added to
+        :attr:`phase_seconds` — which is what lets a trace report
+        reconstruct the phase table from the JSONL alone.
+        """
+        span_cm = (
+            tracer.span(name, kind="phase") if tracer is not None else None
+        )
+        span = span_cm.__enter__() if span_cm is not None else None
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self.phase_seconds[name] = (
-                self.phase_seconds.get(name, 0.0) + elapsed
-            )
+            self.registry.counter(f"{_PHASE_PREFIX}{name}").inc(elapsed)
+            if span_cm is not None:
+                span_cm.__exit__(None, None, None)
+                span.duration_s = elapsed
 
     # -- cache counter intake ----------------------------------------------------
 
     def add_fetch_counts(self, hits: int, misses: int) -> None:
         """Fold one fetch cache's counters into the totals."""
-        self.fetches += hits + misses
-        self.fetch_cache_hits += hits
-        self.backend_fetches += misses
+        self.registry.counter("fetch.issued").inc(hits + misses)
+        self.registry.counter("fetch.cache_hits").inc(hits)
+        self.registry.counter("fetch.backend").inc(misses)
 
     def add_cdx_counts(self, hits: int, misses: int) -> None:
         """Fold one CDX cache's counters into the totals."""
-        self.cdx_queries += hits + misses
-        self.cdx_cache_hits += hits
-        self.backend_cdx_queries += misses
+        self.registry.counter("cdx.issued").inc(hits + misses)
+        self.registry.counter("cdx.cache_hits").inc(hits)
+        self.registry.counter("cdx.backend").inc(misses)
 
     def add_retry_counts(
         self,
@@ -104,11 +158,101 @@ class StudyStats:
         study for the parent-side clients; totals are therefore exact
         sums over every process that retried anything.
         """
-        self.fetch_retries += fetch_retries
-        self.fetch_giveups += fetch_giveups
-        self.cdx_retries += cdx_retries
-        self.cdx_giveups += cdx_giveups
-        self.backoff_ms += backoff_ms
+        self.registry.counter("retry.fetch.retries").inc(fetch_retries)
+        self.registry.counter("retry.fetch.giveups").inc(fetch_giveups)
+        self.registry.counter("retry.cdx.retries").inc(cdx_retries)
+        self.registry.counter("retry.cdx.giveups").inc(cdx_giveups)
+        self.registry.counter("retry.backoff_ms").inc(backoff_ms)
+
+    def add_shard_wall(self, seconds: float) -> None:
+        """Record one shard's wall time, folding min/max/total.
+
+        In parallel runs each shard times itself inside its worker (the
+        parent only ever saw the whole pool's span before this
+        existed), so worker imbalance — one slow shard pinning the
+        stage — is visible in the summary and the metrics dump.
+        """
+        count = self.registry.counter("shard.wall.count")
+        minimum = self.registry.gauge("shard.wall.min_s")
+        maximum = self.registry.gauge("shard.wall.max_s")
+        if count.int_value == 0:
+            minimum.set(seconds)
+            maximum.set(seconds)
+        else:
+            minimum.set(min(minimum.value, seconds))
+            maximum.set(max(maximum.value, seconds))
+        count.inc()
+        self.registry.counter("shard.wall.total_s").inc(seconds)
+        self.registry.histogram("shard.wall_s").observe(seconds)
+
+    # -- counter views -----------------------------------------------------------
+
+    def _count(self, name: str) -> int:
+        return self.registry.counter(name).int_value
+
+    @property
+    def fetches(self) -> int:
+        return self._count("fetch.issued")
+
+    @property
+    def fetch_cache_hits(self) -> int:
+        return self._count("fetch.cache_hits")
+
+    @property
+    def backend_fetches(self) -> int:
+        return self._count("fetch.backend")
+
+    @property
+    def cdx_queries(self) -> int:
+        return self._count("cdx.issued")
+
+    @property
+    def cdx_cache_hits(self) -> int:
+        return self._count("cdx.cache_hits")
+
+    @property
+    def backend_cdx_queries(self) -> int:
+        return self._count("cdx.backend")
+
+    @property
+    def fetch_retries(self) -> int:
+        return self._count("retry.fetch.retries")
+
+    @property
+    def fetch_giveups(self) -> int:
+        return self._count("retry.fetch.giveups")
+
+    @property
+    def cdx_retries(self) -> int:
+        return self._count("retry.cdx.retries")
+
+    @property
+    def cdx_giveups(self) -> int:
+        return self._count("retry.cdx.giveups")
+
+    @property
+    def backoff_ms(self) -> float:
+        return self.registry.counter("retry.backoff_ms").value
+
+    @property
+    def shard_wall_count(self) -> int:
+        """How many shard wall times have been folded in."""
+        return self._count("shard.wall.count")
+
+    @property
+    def shard_wall_total(self) -> float:
+        """Sum of per-shard wall seconds (CPU-seconds of stage work)."""
+        return self.registry.counter("shard.wall.total_s").value
+
+    @property
+    def shard_wall_min(self) -> float:
+        """Fastest shard's wall seconds (0.0 before any shard ran)."""
+        return self.registry.gauge("shard.wall.min_s").value
+
+    @property
+    def shard_wall_max(self) -> float:
+        """Slowest shard's wall seconds (0.0 before any shard ran)."""
+        return self.registry.gauge("shard.wall.max_s").value
 
     # -- derived rates -----------------------------------------------------------
 
@@ -147,19 +291,38 @@ class StudyStats:
         """Wall time summed over all recorded phases."""
         return sum(self.phase_seconds.values())
 
+    # -- rendering ---------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Machine-readable dump: topology, phases, and the registry."""
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "total_seconds": self.total_seconds,
+            "phase_seconds": self.phase_seconds,
+            "registry": self.registry.snapshot(),
+        }
+
     def summary(self) -> str:
         """Multi-line digest for logs, full_run, and benchmarks."""
         phases = "; ".join(
             f"{name} {seconds:.2f}s"
             for name, seconds in self.phase_seconds.items()
         )
+        executor_line = (
+            f"executor: {self.workers} worker(s), "
+            f"{self.shards} shard(s), "
+            f"{self.total_seconds:.2f}s total"
+        )
+        if self.shard_wall_count:
+            executor_line += (
+                f", shard wall min/max/total "
+                f"{self.shard_wall_min:.2f}/{self.shard_wall_max:.2f}/"
+                f"{self.shard_wall_total:.2f}s"
+            )
         return "\n".join(
             [
-                (
-                    f"executor: {self.workers} worker(s), "
-                    f"{self.shards} shard(s), "
-                    f"{self.total_seconds:.2f}s total"
-                ),
+                executor_line,
                 f"phases: {phases or 'none recorded'}",
                 (
                     f"fetches: {self.fetches} issued, "
@@ -178,4 +341,11 @@ class StudyStats:
                     f"virtual backoff {self.backoff_ms:.0f} ms"
                 ),
             ]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StudyStats(workers={self.workers}, shards={self.shards}, "
+            f"fetches={self.fetches}, cdx_queries={self.cdx_queries}, "
+            f"total_seconds={self.total_seconds:.3f})"
         )

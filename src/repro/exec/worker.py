@@ -7,6 +7,14 @@ independence is what lets :class:`~repro.exec.executor.StudyExecutor`
 shard the record list across processes and still merge a byte-identical
 result: this module is the unit of work each shard runs.
 
+Observability rides the same shape: each record stage measures its own
+wall time and backend-counter deltas into a
+:class:`~repro.obs.provenance.RecordProvenance` (and, when tracing is
+on, a ``kind="record"`` span), and each shard buffers a private
+:class:`~repro.obs.metrics.MetricsRegistry` plus its trace spans so
+the parent can fold them exactly — the same delta-then-merge motion
+the retry counters use.
+
 ``repro.analysis.study`` imports this package back, and importing any
 ``repro.analysis`` submodule runs the package ``__init__`` (which
 imports ``study``), so analysis imports here are deferred to call time
@@ -16,6 +24,7 @@ its own, whichever side of the cycle loads first.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from dataclasses import dataclass
@@ -24,6 +33,9 @@ from ..archive.cdx import CdxApi
 from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher
+from ..obs.metrics import MetricsRegistry
+from ..obs.provenance import RecordProvenance, backend_snapshot
+from ..obs.trace import Span, Tracer
 from ..retry import RetryCounters, RetryPolicy
 from .cache import CachingCdxApi, CachingFetcher
 
@@ -38,12 +50,19 @@ MAX_REDIRECT_COPIES_PER_LINK = 8
 
 @dataclass(frozen=True, slots=True)
 class RecordOutcome:
-    """Everything the study learns about one record, order-free."""
+    """Everything the study learns about one record, order-free.
+
+    ``provenance`` is the record's cost audit (bucket, span id,
+    backend-traffic deltas); it is execution-shape-dependent at the
+    cache-hit level and therefore excluded from any cross-run
+    equivalence reasoning — the measurement fields above it are not.
+    """
 
     probe: LiveProbe
     census: CopyCensus
     has_valid_redirect_copy: bool
     first_post_marking_erroneous: bool | None
+    provenance: RecordProvenance | None = None
 
     @property
     def record(self) -> LinkRecord:
@@ -53,11 +72,15 @@ class RecordOutcome:
 
 @dataclass(frozen=True, slots=True)
 class ShardResult:
-    """One shard's outcomes plus its cache and retry accounting.
+    """One shard's outcomes plus its cache, retry, and obs accounting.
 
     Retry counters are *deltas* measured around the shard's own work
     (a pool worker may run several shards on one fetcher copy), so the
     parent can sum them across shards without double counting.
+    ``metrics`` is the shard's buffered registry (record buckets, wall
+    histograms) and ``trace_spans`` its buffered trace, both folded
+    into the parent's on merge; ``wall_seconds`` is the shard's own
+    wall time, measured inside the worker so imbalance is visible.
     """
 
     start: int
@@ -71,6 +94,9 @@ class ShardResult:
     cdx_retries: int = 0
     cdx_giveups: int = 0
     backoff_ms: float = 0.0
+    wall_seconds: float = 0.0
+    metrics: MetricsRegistry | None = None
+    trace_spans: tuple[Span, ...] = ()
 
 
 def run_record_stage(
@@ -79,35 +105,78 @@ def run_record_stage(
     cdx: CdxApi | CachingCdxApi,
     at: SimTime,
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RecordOutcome:
-    """Run the sharded portion of the pipeline for one record."""
+    """Run the sharded portion of the pipeline for one record.
+
+    Always attaches provenance (the counter deltas are nearly free);
+    ``tracer`` adds a ``record`` span enclosing the stage's backend
+    spans, and ``metrics`` buffers the record's bucket and wall time.
+    """
     from ..analysis.archived_soft404 import archived_copy_erroneous
     from ..analysis.copies import census_link
     from ..analysis.live_status import LiveProbe
     from ..analysis.redirects import RedirectValidator
 
-    probe = LiveProbe(record=record, result=fetcher.fetch(record.url, at))
-    census = census_link(record, cdx)
-
-    has_valid_redirect = False
-    if not census.has_pre_marking_200 and census.has_pre_marking_3xx:
-        validator = RedirectValidator(cdx)
-        for snapshot in census.pre_marking_3xx[:max_redirect_copies]:
-            if validator.validate(snapshot).valid:
-                has_valid_redirect = True
-                break
-
-    first_post = census.first_post_marking
-    post_erroneous = (
-        archived_copy_erroneous(first_post, cdx)
-        if first_post is not None
+    before = backend_snapshot(fetcher, cdx)
+    span_cm = (
+        tracer.span("record", kind="record", sim=at, url=record.url)
+        if tracer is not None
         else None
     )
+    span = span_cm.__enter__() if span_cm is not None else None
+    start = time.perf_counter()
+    try:
+        probe = LiveProbe(record=record, result=fetcher.fetch(record.url, at))
+        census = census_link(record, cdx)
+
+        has_valid_redirect = False
+        if not census.has_pre_marking_200 and census.has_pre_marking_3xx:
+            validator = RedirectValidator(cdx)
+            for snapshot in census.pre_marking_3xx[:max_redirect_copies]:
+                if validator.validate(snapshot).valid:
+                    has_valid_redirect = True
+                    break
+
+        first_post = census.first_post_marking
+        post_erroneous = (
+            archived_copy_erroneous(first_post, cdx)
+            if first_post is not None
+            else None
+        )
+    finally:
+        if span_cm is not None:
+            span_cm.__exit__(None, None, None)
+    wall = time.perf_counter() - start
+
+    bucket = probe.result.outcome.value
+    provenance = RecordProvenance.from_deltas(
+        url=record.url,
+        bucket=bucket,
+        before=before,
+        after=backend_snapshot(fetcher, cdx),
+        span_id=span.span_id if span is not None else None,
+        wall_seconds=wall,
+    )
+    if span is not None:
+        span.set(
+            bucket=bucket,
+            fetches=provenance.fetches,
+            cdx_queries=provenance.cdx_queries,
+            retries=provenance.retries,
+        )
+        span.add_virtual_ms(provenance.backoff_ms)
+    if metrics is not None:
+        metrics.counter("records.traced").inc()
+        metrics.counter(f"records.bucket/{bucket}").inc()
+        metrics.histogram("record.wall_s").observe(wall)
     return RecordOutcome(
         probe=probe,
         census=census,
         has_valid_redirect_copy=has_valid_redirect,
         first_post_marking_erroneous=post_erroneous,
+        provenance=provenance,
     )
 
 
@@ -123,6 +192,8 @@ class WorkerContext:
     at: SimTime
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK
     retry_policy: RetryPolicy | None = None
+    #: Whether shards should buffer trace spans for the parent tracer.
+    trace: bool = False
 
 
 #: Per-process context. Under the ``fork`` start method the parent sets
@@ -152,25 +223,50 @@ def run_shard(span: tuple[int, int]) -> ShardResult:
     capture most of the repetition without any cross-process traffic.
     Retry activity on the shared fetcher is reported as a before/after
     delta (other shards in this process own their slice of it).
+
+    The shard likewise buffers its own metrics registry, trace spans
+    (ids prefixed ``w{start}.`` so parent adoption cannot collide),
+    and its own wall clock — everything the parent folds on merge.
     """
     context = _CONTEXT
     if context is None:
         raise RuntimeError("worker context not initialised")
     start, stop = span
-    fetcher = CachingFetcher(context.fetcher, retry_policy=context.retry_policy)
-    cdx = CachingCdxApi(context.cdx, retry_policy=context.retry_policy)
+    tracer = Tracer(prefix=f"w{start}.") if context.trace else None
+    metrics = MetricsRegistry()
+    fetcher = CachingFetcher(
+        context.fetcher, retry_policy=context.retry_policy, tracer=tracer
+    )
+    cdx = CachingCdxApi(
+        context.cdx, retry_policy=context.retry_policy, tracer=tracer
+    )
     inner = _fetcher_retry_counters(context.fetcher)
     before = (inner.retries, inner.giveups, inner.backoff_ms)
-    outcomes = tuple(
-        run_record_stage(
-            context.records[index],
-            fetcher,
-            cdx,
-            context.at,
-            context.max_redirect_copies,
-        )
-        for index in range(start, stop)
+    shard_cm = (
+        tracer.span("shard", kind="shard", start=start, stop=stop)
+        if tracer is not None
+        else None
     )
+    if shard_cm is not None:
+        shard_cm.__enter__()
+    wall_start = time.perf_counter()
+    try:
+        outcomes = tuple(
+            run_record_stage(
+                context.records[index],
+                fetcher,
+                cdx,
+                context.at,
+                context.max_redirect_copies,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            for index in range(start, stop)
+        )
+    finally:
+        if shard_cm is not None:
+            shard_cm.__exit__(None, None, None)
+    wall = time.perf_counter() - wall_start
     return ShardResult(
         start=start,
         outcomes=outcomes,
@@ -185,4 +281,7 @@ def run_shard(span: tuple[int, int]) -> ShardResult:
         backoff_ms=(inner.backoff_ms - before[2])
         + fetcher.retry_counters.backoff_ms
         + cdx.retry_counters.backoff_ms,
+        wall_seconds=wall,
+        metrics=metrics,
+        trace_spans=tuple(tracer.spans) if tracer is not None else (),
     )

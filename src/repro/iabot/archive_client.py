@@ -27,6 +27,7 @@ from ..archive.availability import AvailabilityApi
 from ..archive.snapshot import Snapshot
 from ..clock import SimTime
 from ..errors import ArchiveError, ArchiveTimeout
+from ..obs.trace import Tracer
 from ..retry import RetryCounters, RetryPolicy, call_with_retry, is_transient
 
 
@@ -36,17 +37,26 @@ def _lookup_retryable(exc: BaseException) -> bool:
 
 
 class IABotArchiveClient:
-    """Bounded closest-copy lookups, optionally retried."""
+    """Bounded closest-copy lookups, optionally retried.
+
+    A ``tracer`` records one ``kind="availability"`` span per lookup,
+    carrying the URL, how it resolved (found / none / timeout /
+    error), and the API's simulated latency as virtual milliseconds —
+    the third backend leg of the study's span hierarchy, next to
+    ``backend.fetch`` and ``backend.cdx``.
+    """
 
     def __init__(
         self,
         api: AvailabilityApi,
         timeout_ms: float | None = 5000.0,
         retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._api = api
         self._timeout_ms = timeout_ms
         self._retry_policy = retry_policy
+        self._tracer = tracer
         self.lookups = 0
         self.timeouts = 0
         self.errors = 0
@@ -61,6 +71,22 @@ class IABotArchiveClient:
         past the retry budget — all indistinguishable to IABot, which
         is precisely the paper's point.
         """
+        if self._tracer is None:
+            return self._find_copy(url, posted_at)
+        with self._tracer.span(
+            "availability.lookup", kind="availability",
+            sim=posted_at, url=url,
+        ) as span:
+            backoff_before = self.retry_counters.backoff_ms
+            snapshot = self._find_copy(url, posted_at, span)
+            span.add_virtual_ms(
+                self.retry_counters.backoff_ms - backoff_before
+            )
+            return snapshot
+
+    def _find_copy(
+        self, url: str, posted_at: SimTime, span=None
+    ) -> Snapshot | None:
         self.lookups += 1
         try:
             result = call_with_retry(
@@ -74,6 +100,8 @@ class IABotArchiveClient:
             )
         except ArchiveTimeout:
             self.timeouts += 1
+            if span is not None:
+                span.set(resolved="timeout")
             return None
         except ArchiveError as exc:
             if not is_transient(exc):
@@ -81,5 +109,12 @@ class IABotArchiveClient:
             # A 5xx/429 the budget could not outlast: the bot logs it
             # and proceeds exactly as if the link were never archived.
             self.errors += 1
+            if span is not None:
+                span.set(resolved="error")
             return None
+        if span is not None:
+            span.set(
+                resolved="found" if result.snapshot is not None else "none"
+            )
+            span.add_virtual_ms(result.latency_ms)
         return result.snapshot

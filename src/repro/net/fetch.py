@@ -13,6 +13,7 @@ from typing import Protocol
 
 from ..clock import SimTime
 from ..errors import ConnectionTimeout, DnsError, UrlError
+from ..obs.trace import Tracer
 from ..retry import RetryCounters, RetryPolicy, call_with_retry
 from ..urls.parse import ParsedUrl, parse_url
 from .dns import DnsTable
@@ -103,6 +104,11 @@ class Fetcher:
             never retries, reproducing the retry-less client exactly.
             Permanent failures — NXDOMAIN, a dead origin — are never
             retried regardless of policy.
+        tracer: optional :class:`~repro.obs.trace.Tracer`; when set,
+            every fetch records a ``kind="net.fetch"`` span carrying
+            the URL, outcome, hop count, and any virtual backoff spent
+            on transient retries. ``None`` (the default) leaves the
+            hot path untouched.
     """
 
     def __init__(
@@ -111,11 +117,13 @@ class Fetcher:
         origin: OriginServer,
         max_redirects: int = DEFAULT_MAX_REDIRECTS,
         retry_policy: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._dns = dns
         self._origin = origin
         self._max_redirects = max_redirects
         self._retry_policy = retry_policy
+        self._tracer = tracer
         self._fetch_count = 0
         self.retry_counters = RetryCounters()
 
@@ -146,6 +154,20 @@ class Fetcher:
         fail to resolve garbage too) rather than raising, so analysis
         loops never crash on a typo'd scheme.
         """
+        if self._tracer is None:
+            return self._fetch(url, at)
+        backoff_before = self.retry_counters.backoff_ms
+        with self._tracer.span(
+            "fetch", kind="net.fetch", sim=at, url=str(url)
+        ) as span:
+            result = self._fetch(url, at)
+            span.add_virtual_ms(
+                self.retry_counters.backoff_ms - backoff_before
+            )
+            span.set(outcome=result.outcome.value, hops=len(result.chain))
+            return result
+
+    def _fetch(self, url: str | ParsedUrl, at: SimTime) -> FetchResult:
         self._fetch_count += 1
         try:
             current = parse_url(url) if isinstance(url, str) else url

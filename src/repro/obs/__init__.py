@@ -1,0 +1,57 @@
+"""Observability for the study pipeline: tracing, metrics, provenance.
+
+Three layers, all opt-in and all fold-exact across worker processes:
+
+- :mod:`repro.obs.trace` — a span-based :class:`Tracer` recording the
+  hierarchy study → phase → shard → record → backend call on both the
+  wall clock and the simulation's virtual clock, serialized to an
+  append-only JSONL event log;
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bound histograms that
+  :class:`~repro.exec.stats.StudyStats` is a thin view over; worker
+  shards buffer their own registry and the executor folds them
+  exactly on merge;
+- :mod:`repro.obs.provenance` — a :class:`RecordProvenance` attached
+  to every record outcome: span id, Figure-4 bucket, and the
+  fetch/CDX/retry deltas that record cost.
+
+``scripts/trace_report.py`` (over :mod:`repro.obs.traceview`) answers
+the audit questions from the JSONL alone: top-N most expensive URLs,
+failure attribution by bucket, per-phase latency histograms.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .provenance import BackendSnapshot, RecordProvenance, backend_snapshot
+from .trace import Span, Tracer, read_jsonl
+from .traceview import (
+    bucket_attribution,
+    kind_counts,
+    phase_latency_histograms,
+    phase_totals,
+    top_records,
+)
+
+__all__ = [
+    "BackendSnapshot",
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RecordProvenance",
+    "Span",
+    "Tracer",
+    "backend_snapshot",
+    "bucket_attribution",
+    "kind_counts",
+    "phase_latency_histograms",
+    "phase_totals",
+    "read_jsonl",
+    "top_records",
+]

@@ -1,0 +1,204 @@
+"""A small, exact, fold-friendly metrics registry.
+
+The study pipeline runs the same logical work whether it executes
+serially or sharded across worker processes, and its accounting must
+say so: every counter in this module folds by plain addition, every
+histogram by bucket-wise addition, so a parent process can merge the
+registries its workers buffered and end up with *exactly* the numbers
+a serial run would have produced (for shape-independent metrics) or
+exactly the sum of what every process did (for shape-dependent ones).
+
+Three instrument types:
+
+- :class:`Counter` — a monotonically increasing float total;
+- :class:`Gauge` — a last-written value (worker counts, shard wall
+  extrema — things that are *states*, not totals);
+- :class:`Histogram` — fixed, deterministic bucket bounds chosen at
+  registration time, so two processes observing into histograms of the
+  same name always produce mergeable bucket vectors.
+
+Nothing here is thread-safe by design: each process owns its registry
+and folding happens at well-defined merge points (the executor's
+shard-result loop), mirroring how the retry-counter deltas already
+flow.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Default histogram bounds for wall-clock latencies, in seconds.
+#: Roughly logarithmic from 0.5 ms to 30 s — wide enough for a single
+#: record stage at the bottom and a full study phase at the top.
+DEFAULT_LATENCY_BOUNDS_S: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+@dataclass
+class Counter:
+    """A named, add-only total. Folds across processes by summation."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be fractional, e.g. seconds)."""
+        self.value += amount
+
+    @property
+    def int_value(self) -> int:
+        """The value as an int, for counters that only ever count."""
+        return int(self.value)
+
+
+@dataclass
+class Gauge:
+    """A named last-written value. Merging keeps the incoming value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound histogram; bucket ``i`` counts values ``<= bounds[i]``.
+
+    The final bucket (index ``len(bounds)``) is the overflow bucket.
+    Bounds are part of the histogram's identity: merging histograms
+    with different bounds is a registration error, not a runtime
+    guess, which is what keeps cross-process folds exact.
+    """
+
+    name: str
+    bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_S
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the same shape into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge bounds "
+                f"{other.bounds!r} into {self.bounds!r}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.sum += other.sum
+
+
+class MetricsRegistry:
+    """All of one process's instruments, created on first touch.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` return
+    the live instrument (creating it if needed), so call sites never
+    pre-register. :meth:`merge` folds another registry in exactly;
+    :meth:`snapshot` renders plain JSON-ready data.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at zero if new."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created at zero if new."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram:
+        """The histogram called ``name``; ``bounds`` only bind on creation."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_LATENCY_BOUNDS_S
+            )
+        return instrument
+
+    # -- bulk views --------------------------------------------------------------
+
+    def counters(self, prefix: str = "", sort: bool = True) -> dict[str, float]:
+        """Counter values whose names start with ``prefix``.
+
+        Sorted by name by default; ``sort=False`` keeps creation order
+        (which is how phase timings preserve execution order).
+        """
+        items = sorted(self._counters.items()) if sort else self._counters.items()
+        return {
+            name: c.value for name, c in items if name.startswith(prefix)
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters and histograms add,
+        gauges take the incoming value."""
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
+
+    def snapshot(self) -> dict:
+        """Plain-data rendering of every instrument (JSON-ready)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

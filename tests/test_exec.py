@@ -185,6 +185,26 @@ class TestExecutorEquivalence:
         assert stats.cdx_cache_hit_rate > 0.0
         assert "cache hit rate" in stats.summary()
 
+    def test_serial_run_records_its_single_shard_wall(self, tiny_world):
+        stats = _fresh_study(tiny_world).run().stats
+        assert stats.shard_wall_count == 1
+        assert stats.shard_wall_min == stats.shard_wall_max
+        assert 0.0 < stats.shard_wall_total <= stats.total_seconds
+        assert "shard wall" in stats.summary()
+
+    def test_parallel_run_folds_per_shard_walls(self, tiny_world):
+        stats = (
+            _fresh_study(tiny_world)
+            .run(executor=StudyExecutor(workers=3))
+            .stats
+        )
+        # One wall reading per shard, measured inside the worker, so
+        # imbalance (one slow shard pinning the stage) is visible.
+        assert stats.shard_wall_count == stats.shards == 3
+        assert 0.0 < stats.shard_wall_min <= stats.shard_wall_max
+        assert stats.shard_wall_total >= stats.shard_wall_max
+        assert stats.registry.histogram("shard.wall_s").count == 3
+
     def test_stats_do_not_break_report_equality(self, tiny_world):
         a = _fresh_study(tiny_world).run()
         b = _fresh_study(tiny_world).run()

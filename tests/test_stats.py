@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exec.stats import StudyStats, _rate
+from repro.obs import MetricsRegistry, Tracer, phase_totals
 
 
 class TestRate:
@@ -84,6 +85,68 @@ class TestPhaseTiming:
             with stats.phase("doomed"):
                 raise RuntimeError("boom")
         assert "doomed" in stats.phase_seconds
+
+    def test_phase_order_is_execution_order_not_alphabetical(self):
+        stats = StudyStats()
+        for name in ("temporal", "spatial", "alpha"):
+            with stats.phase(name):
+                pass
+        assert list(stats.phase_seconds) == ["temporal", "spatial", "alpha"]
+
+    def test_traced_phase_span_carries_the_exact_seconds(self):
+        stats = StudyStats()
+        tracer = Tracer()
+        with stats.phase("probe+census", tracer=tracer):
+            pass
+        with stats.phase("probe+census", tracer=tracer):
+            pass
+        with stats.phase("soft404", tracer=tracer):
+            pass
+        # Not approx: the phase writes the same measured float to the
+        # counter and the span, so a trace report reconstructs the
+        # phase table identically.
+        assert phase_totals(tracer.spans) == stats.phase_seconds
+        assert all(s.kind == "phase" for s in tracer.spans)
+
+
+class TestShardWall:
+    def test_folds_min_max_total_and_count(self):
+        stats = StudyStats()
+        assert stats.shard_wall_count == 0
+        for seconds in (2.0, 0.5, 1.0):
+            stats.add_shard_wall(seconds)
+        assert stats.shard_wall_count == 3
+        assert stats.shard_wall_min == 0.5
+        assert stats.shard_wall_max == 2.0
+        assert stats.shard_wall_total == pytest.approx(3.5)
+
+    def test_first_shard_sets_both_extrema(self):
+        stats = StudyStats()
+        stats.add_shard_wall(1.25)
+        assert stats.shard_wall_min == stats.shard_wall_max == 1.25
+
+    def test_summary_grows_a_shard_wall_clause_only_when_fed(self):
+        stats = StudyStats()
+        assert "shard wall" not in stats.summary()
+        stats.add_shard_wall(0.25)
+        stats.add_shard_wall(0.75)
+        executor_line = stats.summary().splitlines()[0]
+        assert "shard wall min/max/total 0.25/0.75/1.00s" in executor_line
+        assert len(stats.summary().splitlines()) == 5  # format unchanged
+
+    def test_worker_registry_merge_adds_counters_exactly(self):
+        # The executor's fold path: worker shards buffer private
+        # registries (record buckets, wall histograms) that merge into
+        # the stats' registry by plain addition.
+        stats = StudyStats()
+        stats.registry.counter("records.traced").inc(3)
+        for n in (2, 5):
+            worker = MetricsRegistry()
+            worker.counter("records.traced").inc(n)
+            worker.histogram("record.wall_s").observe(0.01)
+            stats.registry.merge(worker)
+        assert stats.registry.counter("records.traced").int_value == 10
+        assert stats.registry.histogram("record.wall_s").count == 2
 
 
 class TestSummaryFormatting:
