@@ -1,0 +1,120 @@
+"""T-serve — the link-status service under increasing offered load.
+
+Builds one :class:`~repro.service.LinkStatusIndex` from the session's
+full-scale study report, then replays seeded Zipf workloads at several
+offered loads against a fixed :class:`ServerConfig` — below capacity,
+at capacity, and past it — recording for each level:
+
+- virtual throughput and p50/p99 virtual latency (the deterministic
+  figures the service tests pin);
+- cache hit rate and coalescing volume (what micro-batching buys);
+- shed rate (what admission control costs past capacity);
+- real wall time to serve the replay (the only nondeterministic
+  number, reported for context).
+
+Writes ``BENCH_service.json`` at the repo root so EXPERIMENTS.md can
+quote the sweep from the working tree. The expected shape: hit rate
+and coalescing climb with load (hotter Zipf head per unit time), shed
+rate stays ~0 until offered load crosses the token rate, then grows
+while p99 for *served* requests stays bounded by the queue depth — the
+degradation admission control promises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    LinkStatusIndex,
+    LinkStatusService,
+    ServerConfig,
+    WorkloadConfig,
+    generate_workload,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Requests replayed per load level.
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVICE_REQUESTS", "20000"))
+
+#: The fixed capacity every level runs against.
+CONFIG = ServerConfig(rate_rps=2_000.0, burst=16, queue_limit=64)
+
+#: Offered load as a multiple of the configured token rate.
+LEVELS: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+
+_results: dict[float, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def service_index(report) -> LinkStatusIndex:
+    return LinkStatusIndex.build(report)
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=lambda x: f"{x:g}x")
+def test_service_under_load(benchmark, service_index, level):
+    offered_rps = CONFIG.rate_rps * level
+    workload = generate_workload(
+        [entry.url for entry in service_index.entries],
+        WorkloadConfig(
+            n_requests=N_REQUESTS,
+            offered_rps=offered_rps,
+            seed=11,
+            aggregate_fraction=0.02,
+            unknown_fraction=0.01,
+        ),
+    )
+
+    def run():
+        service = LinkStatusService(service_index, CONFIG)
+        start = time.perf_counter()
+        result = service.serve(workload, mode="serial")
+        wall = time.perf_counter() - start
+        return result, wall
+
+    result, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    digest = result.as_dict()
+    digest.update(
+        offered_rps=offered_rps,
+        load_multiple=level,
+        wall_seconds=round(wall, 4),
+        wall_rps=round(len(workload) / wall, 1) if wall > 0 else None,
+    )
+    _results[level] = digest
+
+    print()
+    print(f"-- offered {offered_rps:g} rps ({level:g}x capacity) --")
+    print(result.summary())
+    print(f"replay wall: {wall:.3f}s ({digest['wall_rps']} req/s real)")
+
+    # Below capacity nothing sheds; past it, shedding must engage.
+    if level <= 1.0:
+        assert digest["shed_rate"] < 0.05
+    if level >= 2.0:
+        assert digest["shed_rate"] > 0.0
+
+    if level == LEVELS[-1]:
+        payload = {
+            "n_requests": N_REQUESTS,
+            "index_entries": len(service_index),
+            "index_version": service_index.version,
+            "config": {
+                "rate_rps": CONFIG.rate_rps,
+                "burst": CONFIG.burst,
+                "queue_limit": CONFIG.queue_limit,
+                "max_batch": CONFIG.max_batch,
+                "max_wait_ms": CONFIG.max_wait_ms,
+                "cache_capacity": CONFIG.cache_capacity,
+                "cache_ttl_ms": CONFIG.cache_ttl_ms,
+            },
+            "levels": [_results[key] for key in sorted(_results)],
+        }
+        out = REPO_ROOT / "BENCH_service.json"
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out.name} ({len(_results)} load levels)")

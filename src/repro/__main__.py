@@ -5,11 +5,17 @@ Subcommands:
     python -m repro study [--links N] [--seed S]      run the full study
     python -m repro calibrate [--links N] [--seed S]  paper-vs-measured table
     python -m repro medic [--links N] [--seed S]      WaybackMedic rescue run
+    python -m repro serve [--requests M] [--rps R]    replay traffic at the service
+    python -m repro query (--url U | --domain D |     one query against the index
+                           --quantile M:Q | --bucket-counts)
+
+Also installed as the ``repro`` console script.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -107,6 +113,82 @@ def _cmd_medic(args) -> int:
     return 0
 
 
+def _build_index(args):
+    from .service import LinkStatusIndex
+
+    world = _build_world(args)
+    report = Study.from_world(world).run()
+    index = LinkStatusIndex.build(report)
+    print(f"  index: {len(index)} entries, version {index.version}")
+    return index
+
+
+def _cmd_serve(args) -> int:
+    from .service import (
+        LinkStatusService,
+        ServerConfig,
+        ServiceFaultPlan,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    index = _build_index(args)
+    config = ServerConfig(rate_rps=args.rps)
+    workload = generate_workload(
+        [entry.url for entry in index.entries],
+        WorkloadConfig(
+            n_requests=args.requests,
+            offered_rps=args.offered if args.offered else args.rps,
+            seed=args.seed,
+            aggregate_fraction=0.02,
+            unknown_fraction=0.01,
+        ),
+    )
+    faults = (
+        ServiceFaultPlan.spikes(args.spike_rate, seed=args.seed)
+        if args.spike_rate
+        else None
+    )
+    service = LinkStatusService(index, config, faults=faults)
+    result = service.serve(workload, mode=args.mode)
+    print()
+    print(result.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .service.server import answer
+
+    index = _build_index(args)
+    if args.url:
+        kind, target = "url", args.url
+    elif args.domain:
+        kind, target = "domain", args.domain
+    elif args.quantile:
+        kind, target = "quantile", args.quantile
+    else:
+        kind, target = "bucket_counts", ""
+    status, body = answer(index, kind, target)
+    print(
+        json.dumps(
+            {
+                "status": status,
+                "index_version": index.version,
+                "kind": kind,
+                "target": target,
+                "body": body,
+            },
+            indent=2,
+        )
+    )
+    return 0 if status == 200 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -121,6 +203,8 @@ def main(argv: list[str] | None = None) -> int:
         ("study", _cmd_study),
         ("calibrate", _cmd_calibrate),
         ("medic", _cmd_medic),
+        ("serve", _cmd_serve),
+        ("query", _cmd_query),
     ):
         cmd = sub.add_parser(name)
         cmd.add_argument("--links", type=int, default=3000)
@@ -131,6 +215,49 @@ def main(argv: list[str] | None = None) -> int:
                 metavar="PATH",
                 default=None,
                 help="write the full study as a Markdown report",
+            )
+        if name == "serve":
+            cmd.add_argument("--requests", type=int, default=5000)
+            cmd.add_argument(
+                "--rps",
+                type=float,
+                default=2000.0,
+                help="service token-bucket rate (capacity)",
+            )
+            cmd.add_argument(
+                "--offered",
+                type=float,
+                default=None,
+                help="offered load in rps (default: equal to --rps)",
+            )
+            cmd.add_argument(
+                "--mode", choices=("serial", "thread"), default="serial"
+            )
+            cmd.add_argument(
+                "--spike-rate",
+                type=float,
+                default=0.0,
+                help="inject index latency spikes at this per-key rate",
+            )
+            cmd.add_argument(
+                "--json",
+                metavar="PATH",
+                default=None,
+                help="also write the run digest as JSON",
+            )
+        if name == "query":
+            what = cmd.add_mutually_exclusive_group(required=True)
+            what.add_argument("--url", help="look up one studied URL")
+            what.add_argument("--domain", help="sweep one registrable domain")
+            what.add_argument(
+                "--quantile",
+                metavar="METRIC:Q",
+                help="aggregate quantile, e.g. posting_year:0.5",
+            )
+            what.add_argument(
+                "--bucket-counts",
+                action="store_true",
+                help="Figure-4 bucket counts",
             )
         cmd.set_defaults(handler=handler)
     args = parser.parse_args(argv)

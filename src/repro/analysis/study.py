@@ -84,6 +84,15 @@ class StudyReport:
     #: the same *measurement* whatever their wall times were.
     stats: StudyStats | None = field(default=None, compare=False)
 
+    #: Per-record stage outcomes (probe + census + validation verdicts
+    #: + provenance), in record order — the raw material
+    #: :class:`repro.service.LinkStatusIndex` snapshots into a
+    #: queryable form. Excluded from equality because each outcome
+    #: carries a :class:`~repro.obs.provenance.RecordProvenance` whose
+    #: cache-hit splits are execution-shape-dependent; everything the
+    #: report *measures* from them is already in the compared fields.
+    outcomes: tuple | None = field(default=None, compare=False, repr=False)
+
     @property
     def sample_size(self) -> int:
         """Number of permanently dead links studied."""
@@ -384,4 +393,5 @@ class Study:
             n_rest_with_pre_3xx=len(rest_with_3xx),
             n_valid_redirect_copy=n_valid_redirect,
             stats=stats,
+            outcomes=tuple(stage.outcomes),
         )

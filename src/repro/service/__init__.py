@@ -1,0 +1,55 @@
+"""repro.service — a deterministic link-status query service.
+
+The batch pipeline (:mod:`repro.analysis.study`) answers "what is the
+state of every studied link" once, offline. This package turns that
+answer into a *serving* system — the shape a production link-repair
+bot or dashboard would consume — without giving up the repo's core
+property: every response, latency, and overload decision is an exact,
+replayable function of ``(study report, config, workload seed)``.
+
+The stack, front to back:
+
+- :class:`~repro.service.workload.WorkloadConfig` /
+  :func:`~repro.service.workload.generate_workload` — seeded
+  Zipf-over-URLs traffic with Poisson arrivals;
+- :class:`~repro.service.admission.AdmissionController` — token-bucket
+  rate limiting with a bounded FIFO queue and deterministic shedding;
+- :class:`~repro.service.batcher.MicroBatcher` — micro-batching with
+  duplicate-query coalescing;
+- :class:`~repro.service.cache.ResultCache` — LRU + virtual-TTL result
+  cache;
+- :class:`~repro.service.index.LinkStatusIndex` — the immutable,
+  content-hash-versioned snapshot built from a completed study;
+- :class:`~repro.service.server.LinkStatusService` — the event loop
+  tying them together, in serial or thread-pool mode, traced via
+  :mod:`repro.obs` and chaos-testable via
+  :class:`~repro.service.faults.ServiceFaultPlan`.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .batcher import Batch, BatchItem, MicroBatcher
+from .cache import ResultCache
+from .faults import ServiceFaultPlan, ServiceFaults
+from .index import LinkStatusEntry, LinkStatusIndex
+from .server import LinkStatusService, Response, ServerConfig, ServiceResult
+from .workload import Request, WorkloadConfig, generate_workload
+
+__all__ = [
+    "AdmissionController",
+    "Batch",
+    "BatchItem",
+    "LinkStatusEntry",
+    "LinkStatusIndex",
+    "LinkStatusService",
+    "MicroBatcher",
+    "Request",
+    "Response",
+    "ResultCache",
+    "ServerConfig",
+    "ServiceFaultPlan",
+    "ServiceFaults",
+    "ServiceResult",
+    "TokenBucket",
+    "WorkloadConfig",
+    "generate_workload",
+]

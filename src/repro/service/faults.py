@@ -1,0 +1,90 @@
+"""Service-side fault injection: index latency spikes and cache faults.
+
+The serving layer gets the same chaos treatment the study pipeline got
+in :mod:`repro.faults`: seeded, per-key, replayable. The two channels
+a read-only serving stack realistically has:
+
+- ``index_spike`` — a faulted query key's index lookup pays
+  ``index_spike_ms`` extra virtual latency (a slow shard, a cold
+  page). Degrades tail latency; never changes a response body.
+- ``cache_fault`` — a faulted key's cache reads are lost (a flaky
+  cache node); the lookup falls through to the index. Degrades the
+  hit rate; never changes a response body.
+
+Decisions reuse :class:`repro.faults.FaultChannel` — a pure function
+of ``(seed, channel, key, attempt)`` — so the degradation a workload
+experiences is identical across runs and across serial/thread-pool
+server modes. "Degrades only in documented ways" is a test, not a
+hope: under any :class:`ServiceFaultPlan`, response bodies, statuses,
+and the shed set are byte-identical to the fault-free run; only
+latencies and cache hit rates move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..faults import FaultChannel, FaultSpec
+
+__all__ = ["ServiceFaultPlan", "ServiceFaults"]
+
+_OFF = FaultSpec(rate=0.0)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Seeded chaos configuration for the serving layer."""
+
+    seed: int = 0
+    index_spike: FaultSpec = field(default_factory=lambda: _OFF)
+    index_spike_ms: float = 50.0
+    cache_fault: FaultSpec = field(default_factory=lambda: _OFF)
+
+    @property
+    def active(self) -> bool:
+        """Whether any channel can fire under this plan."""
+        return self.index_spike.active or self.cache_fault.active
+
+    @classmethod
+    def spikes(
+        cls, rate: float, seed: int = 0, spike_ms: float = 50.0
+    ) -> "ServiceFaultPlan":
+        """Index latency spikes only (permanent per key: a hot-key tax)."""
+        return cls(
+            seed=seed,
+            index_spike=FaultSpec(rate=rate, permanent=True),
+            index_spike_ms=spike_ms,
+        )
+
+    @classmethod
+    def flaky_cache(cls, rate: float, seed: int = 0) -> "ServiceFaultPlan":
+        """Cache faults only (permanent per key: a lost cache shard)."""
+        return cls(seed=seed, cache_fault=FaultSpec(rate=rate, permanent=True))
+
+
+class ServiceFaults:
+    """Live fault state for one server: the plan's channels, armed."""
+
+    def __init__(self, plan: ServiceFaultPlan) -> None:
+        self.plan = plan
+        self.spike_channel = FaultChannel(
+            plan.seed, "service.index_spike", plan.index_spike
+        )
+        self.cache_channel = FaultChannel(
+            plan.seed, "service.cache", plan.cache_fault
+        )
+
+    def spike_ms(self, key: str) -> float:
+        """Extra index-lookup latency for ``key`` on this attempt."""
+        if self.spike_channel.should_fault(key):
+            return self.plan.index_spike_ms
+        return 0.0
+
+    def cache_lost(self, key: str) -> bool:
+        """Whether this cache read of ``key`` is lost to the fault."""
+        return self.cache_channel.should_fault(key)
+
+    @property
+    def injected(self) -> int:
+        """Total faults raised across both channels."""
+        return self.spike_channel.injected + self.cache_channel.injected

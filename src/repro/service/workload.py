@@ -1,0 +1,134 @@
+"""Seeded synthetic traffic: Zipf-over-URLs, Poisson arrivals.
+
+Serving benchmarks are only comparable if the load is replayable, so
+the workload is a pure function of ``(url universe, WorkloadConfig)``:
+request popularity follows a truncated Zipf over the studied URLs
+(the head reuse a result cache feeds on), arrivals follow a seeded
+Poisson process at the configured offered load, and a configurable
+slice of traffic exercises the aggregate endpoints and unknown-URL
+404 path. Two calls with the same inputs return identical request
+streams, which is what lets the overload tests pin the exact shed set
+and the benchmark sweep offered load as its only moving part.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from ..rng import Stream, derive_seed
+
+__all__ = ["Request", "WorkloadConfig", "generate_workload"]
+
+#: Aggregate endpoints the mixed workload cycles through.
+_AGGREGATE_TARGETS = (
+    ("bucket_counts", ""),
+    ("quantile", "posting_year:0.5"),
+    ("quantile", "urls_per_domain:0.9"),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One query in flight.
+
+    Attributes:
+        request_id: arrival-ordered id (ties in arrival time break on
+            it, making request order total and deterministic).
+        arrival_ms: virtual arrival instant, ms since workload epoch.
+        kind: ``"url"``, ``"domain"``, ``"bucket_counts"``, or
+            ``"quantile"``.
+        target: the URL / domain / ``"metric:q"`` the kind applies to.
+    """
+
+    request_id: int
+    arrival_ms: float
+    kind: str
+    target: str
+
+    @property
+    def key(self) -> str:
+        """Coalescing/cache key: two requests with equal keys share work."""
+        return f"{self.kind}:{self.target}"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of one synthetic traffic run."""
+
+    n_requests: int = 1000
+    offered_rps: float = 500.0
+    zipf_alpha: float = 1.1
+    seed: int = 0
+    #: Share of requests hitting aggregate endpoints instead of URLs.
+    aggregate_fraction: float = 0.0
+    #: Share of URL requests probing URLs outside the index (404 path).
+    unknown_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        if self.offered_rps <= 0:
+            raise ValueError("offered_rps must be positive")
+        if not 0.0 <= self.aggregate_fraction <= 1.0:
+            raise ValueError("aggregate_fraction must be in [0, 1]")
+        if not 0.0 <= self.unknown_fraction <= 1.0:
+            raise ValueError("unknown_fraction must be in [0, 1]")
+
+
+def _zipf_cdf(n: int, alpha: float) -> list[float]:
+    """Cumulative normalized harmonic weights for ranks 1..n.
+
+    Precomputed once so each draw is a ``bisect`` instead of the
+    O(n) scan :meth:`repro.rng.Stream.zipf` performs per call.
+    """
+    acc = 0.0
+    cdf: list[float] = []
+    for k in range(1, n + 1):
+        acc += 1.0 / (k ** alpha)
+        cdf.append(acc)
+    total = cdf[-1]
+    return [value / total for value in cdf]
+
+
+def generate_workload(
+    urls: list[str] | tuple[str, ...], config: WorkloadConfig
+) -> tuple[Request, ...]:
+    """The seeded request stream for one serving run.
+
+    ``urls`` is the query universe in a stable order (usually
+    ``index.entries`` order); rank 1 of the Zipf is ``urls[0]``, so
+    the popular head is the front of the studied sample.
+    """
+    if not urls:
+        raise ValueError("workload needs a non-empty URL universe")
+    stream = Stream(
+        derive_seed(config.seed, "service.workload"), name="service.workload"
+    )
+    cdf = _zipf_cdf(len(urls), config.zipf_alpha)
+    mean_gap_ms = 1000.0 / config.offered_rps
+
+    requests: list[Request] = []
+    clock_ms = 0.0
+    for request_id in range(config.n_requests):
+        clock_ms += stream.expovariate(1.0 / mean_gap_ms)
+        if stream.random() < config.aggregate_fraction:
+            kind, target = _AGGREGATE_TARGETS[
+                request_id % len(_AGGREGATE_TARGETS)
+            ]
+        elif stream.random() < config.unknown_fraction:
+            kind = "url"
+            target = f"http://unknown-{stream.randrange(1_000_000)}.invalid/"
+        else:
+            kind = "url"
+            rank = bisect_left(cdf, stream.random())
+            target = urls[min(rank, len(urls) - 1)]
+        requests.append(
+            Request(
+                request_id=request_id,
+                arrival_ms=clock_ms,
+                kind=kind,
+                target=target,
+            )
+        )
+    return tuple(requests)

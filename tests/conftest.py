@@ -45,6 +45,28 @@ from repro.web.page import Page, PageFate
 from repro.web.site import Site
 from repro.web.world import LiveWeb
 
+#: Subsystems the tier-1 suite must keep exercised. Importing them
+#: from the session root guarantees each is inside the ``--cov=repro``
+#: measurement (an un-imported package contributes zero lines, which
+#: would let a subsystem silently drop out of the fail_under tripwire
+#: if a refactor orphaned its tests).
+COVERAGE_CONCERNS = (
+    "repro.analysis.study",
+    "repro.exec",
+    "repro.faults",
+    "repro.obs",
+    "repro.service",
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _coverage_concerns():
+    import importlib
+
+    for name in COVERAGE_CONCERNS:
+        importlib.import_module(name)
+
+
 T2005 = SimTime.from_ymd(2005, 1, 1)
 T2008 = SimTime.from_ymd(2008, 1, 1)
 T2012 = SimTime.from_ymd(2012, 6, 1)

@@ -64,11 +64,30 @@ def baseline(fault_world) -> StudyReport:
 
 
 def assert_reports_identical(a: StudyReport, b: StudyReport) -> None:
-    """Field-for-field equality, ignoring the (wall-time) stats field."""
+    """Field-for-field equality, ignoring execution-shape artifacts.
+
+    ``stats`` (wall times) is skipped outright; ``outcomes`` is
+    compared with per-record provenance stripped — provenance carries
+    wall costs and cache-hit splits, which vary across runs, but every
+    measurement field must not.
+    """
     for f in dataclasses.fields(StudyReport):
         if f.name == "stats":
             continue
+        if f.name == "outcomes":
+            assert _sans_provenance(a.outcomes) == _sans_provenance(
+                b.outcomes
+            ), f.name
+            continue
         assert getattr(a, f.name) == getattr(b, f.name), f.name
+
+
+def _sans_provenance(outcomes):
+    if outcomes is None:
+        return None
+    return tuple(
+        dataclasses.replace(outcome, provenance=None) for outcome in outcomes
+    )
 
 
 def assert_degradation_confined(

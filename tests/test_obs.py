@@ -55,10 +55,26 @@ def _fresh_study(world) -> Study:
 
 
 def assert_reports_identical(a: StudyReport, b: StudyReport) -> None:
+    # stats (wall times) is skipped; outcomes compare with per-record
+    # provenance stripped — provenance carries wall costs and span ids,
+    # which vary across runs, but the measurement fields must not.
     for f in dataclasses.fields(StudyReport):
         if f.name == "stats":
             continue
+        if f.name == "outcomes":
+            assert _sans_provenance(a.outcomes) == _sans_provenance(
+                b.outcomes
+            ), f.name
+            continue
         assert getattr(a, f.name) == getattr(b, f.name), f.name
+
+
+def _sans_provenance(outcomes):
+    if outcomes is None:
+        return None
+    return tuple(
+        dataclasses.replace(outcome, provenance=None) for outcome in outcomes
+    )
 
 
 # -- spans and the tracer ----------------------------------------------------------

@@ -1,0 +1,108 @@
+"""Tests for scripts/trace_report.py — the JSONL trace summarizer.
+
+The script's one hard numerical contract: the phase wall totals it
+reconstructs from ``kind="phase"`` spans match the traced run's
+``stats.phase_seconds`` *exactly* — ``StudyStats.phase`` writes the
+identical measured figure to both the counter and the span, and floats
+round-trip exactly through JSON. The rest is rendering: the top-N
+ranking honors N, bucket attribution covers every record, and an empty
+trace exits nonzero instead of printing an empty report.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.study import Study
+from repro.exec import StudyExecutor
+from repro.obs import Tracer, bucket_attribution, phase_totals, read_jsonl
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "trace_report", REPO_ROOT / "scripts" / "trace_report.py"
+)
+trace_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(trace_report)
+
+N_RECORDS = 60
+
+
+@pytest.fixture(scope="module")
+def traced_run(small_world, tmp_path_factory):
+    """A small traced study: (report, spans from disk, JSONL path)."""
+    base = Study.from_world(small_world)
+    study = Study(
+        records=base.records[:N_RECORDS],
+        fetcher=base.fetcher,
+        cdx=base.cdx,
+        at=base.at,
+    )
+    tracer = Tracer()
+    report = study.run(executor=StudyExecutor(workers=1), tracer=tracer)
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    tracer.write_jsonl(path)
+    return report, read_jsonl(path), path
+
+
+def test_phase_totals_match_stats_exactly(traced_run):
+    report, spans, _ = traced_run
+    totals = phase_totals(spans)
+    assert totals == report.stats.phase_seconds
+    # Same keys, same order (phases are recorded in execution order).
+    assert list(totals) == list(report.stats.phase_seconds)
+
+
+def test_top_n_ranking(traced_run):
+    _, spans, _ = traced_run
+    from repro.obs import top_records
+
+    top5 = trace_report.top_records(spans, n=5)
+    assert len(top5) == 5
+    # Most expensive first, ties broken on URL: the order is total.
+    keys = [(-cost.wall_seconds, cost.url) for cost in top5]
+    assert keys == sorted(keys)
+    # Consistent with the library's own ranking.
+    assert [c.url for c in top5] == [c.url for c in top_records(spans, n=5)]
+
+
+def test_bucket_attribution_covers_every_record(traced_run):
+    report, spans, _ = traced_run
+    buckets = bucket_attribution(spans)
+    assert sum(cost.records for cost in buckets.values()) == N_RECORDS
+    measured = {o.value: n for o, n in report.counts.items() if n}
+    assert {b: c.records for b, c in buckets.items()} == measured
+
+
+def test_main_prints_report(traced_run, capsys):
+    report, _, path = traced_run
+    assert trace_report.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "spans by kind:" in out
+    assert "phase wall totals" in out
+    assert "top 10 most expensive URLs:" in out
+    assert "attribution by Figure-4 bucket:" in out
+    # Every phase line the stats block would print appears by name.
+    for phase in report.stats.phase_seconds:
+        assert phase in out
+
+
+def test_main_honors_top_flag(traced_run, capsys):
+    _, _, path = traced_run
+    assert trace_report.main([str(path), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top 3 most expensive URLs:" in out
+    header = out.index("most expensive URLs:")
+    section = out[header:].split("\n\n")[0].splitlines()
+    url_lines = [line for line in section if "http://" in line]
+    assert len(url_lines) == 3
+
+
+def test_main_rejects_empty_trace(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert trace_report.main([str(empty)]) == 1
+    assert "no spans" in capsys.readouterr().out
