@@ -19,11 +19,9 @@ import pytest
 
 from repro.archive.availability import AvailabilityApi, AvailabilityPolicy
 from repro.errors import ArchiveTimeout, ArchiveUnavailable
-from repro.faults import (
+from repro.faults import FaultPlan, FaultSpec, FaultyAvailabilityApi
+from repro.retry import (
     DEFAULT_MASKING_POLICY,
-    FaultPlan,
-    FaultSpec,
-    FaultyAvailabilityApi,
     RetryCounters,
     call_with_retry,
     is_transient,

@@ -43,22 +43,15 @@ import time
 from pathlib import Path
 
 from repro.analysis.study import Study
+from repro.backends import StackConfig
 from repro.dataset.worldgen import WorldConfig, generate_world
 from repro.exec import StudyExecutor
-from repro.faults import DEFAULT_MASKING_POLICY, FaultPlan, RetryPolicy
-from repro.obs import Tracer
 from repro.net.status import Outcome
 from repro.reporting.cdf import ecdf
 from repro.reporting.figures import render_bar_chart, render_cdf
 from repro.reporting.summary import ComparisonTable
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-
-_PLAN_FACTORIES = {
-    "net": FaultPlan.transient_net,
-    "archive": FaultPlan.transient_archive,
-    "everywhere": FaultPlan.transient_everywhere,
-}
 
 
 def parse_args(argv):
@@ -77,69 +70,13 @@ def parse_args(argv):
     parser.add_argument(
         "--target-sample", type=int, default=10_000, help="links to sample"
     )
-    parser.add_argument(
-        "--fault-plan",
-        choices=sorted(_PLAN_FACTORIES),
-        default="everywhere",
-        help="which transient fault channels to activate (with --fault-rate)",
-    )
-    parser.add_argument(
-        "--fault-rate",
-        type=float,
-        default=float(os.environ.get("REPRO_FAULT_RATE", "0.0")),
-        help="per-key fault probability; 0 disables injection "
-        "(REPRO_FAULT_RATE)",
-    )
-    parser.add_argument(
-        "--fault-seed", type=int, default=0, help="fault plan seed"
-    )
-    parser.add_argument(
-        "--retries",
-        type=int,
-        default=int(os.environ.get("REPRO_RETRIES", "0")),
-        help="retry budget per operation; 0 reproduces the paper's "
-        "no-retry clients exactly (REPRO_RETRIES)",
-    )
-    parser.add_argument(
-        "--trace",
-        type=Path,
-        default=None,
-        metavar="PATH",
-        help="append the run's span tree as JSONL (see trace_report.py)",
-    )
-    parser.add_argument(
-        "--metrics-json",
-        type=Path,
-        default=None,
-        metavar="PATH",
-        help="dump the run's metrics registry as JSON",
-    )
+    StackConfig.add_stack_args(parser)
     parser.add_argument(
         "--update-golden",
         action="store_true",
         help="regenerate tests/golden/study_report_tiny.md and exit",
     )
     return parser.parse_args(argv)
-
-
-def build_faults(args) -> FaultPlan | None:
-    if args.fault_rate <= 0.0:
-        return None
-    return _PLAN_FACTORIES[args.fault_plan](
-        rate=args.fault_rate, seed=args.fault_seed
-    )
-
-
-def build_retry_policy(args) -> RetryPolicy | None:
-    if args.retries <= 0:
-        return None
-    return RetryPolicy(
-        max_retries=args.retries,
-        base_delay_ms=DEFAULT_MASKING_POLICY.base_delay_ms,
-        multiplier=DEFAULT_MASKING_POLICY.multiplier,
-        max_delay_ms=DEFAULT_MASKING_POLICY.max_delay_ms,
-        budget_ms=DEFAULT_MASKING_POLICY.budget_ms,
-    )
 
 
 def main(argv=None) -> int:
@@ -152,10 +89,10 @@ def main(argv=None) -> int:
         print(f"golden snapshot regenerated: {path.relative_to(REPO_ROOT)}")
         return 0
 
-    faults = build_faults(args)
-    retry_policy = build_retry_policy(args)
-
-    tracer = Tracer() if args.trace is not None else None
+    config = StackConfig.from_args(args)
+    faults = config.build_faults()
+    retry_policy = config.build_retry_policy()
+    tracer = config.build_tracer()
 
     t0 = time.time()
     world = generate_world(

@@ -1,0 +1,107 @@
+"""Regenerate the backend-stack differential goldens.
+
+The refactor contract of ``repro.backends`` is *semantics preservation
+by construction*: a study run through the composed middleware stack
+must produce a byte-identical :class:`StudyReport` to the pre-refactor
+hand-written wrappers, clean or faulted, serial or sharded. This
+script pins that contract: it renders the study of the pinned golden
+world under every differential scenario and records a SHA-256 digest
+of each rendered report in ``tests/golden/stack_differential.json``.
+
+``tests/test_backends.py`` recomputes the digests on every tier-1 run
+and compares byte-for-byte. The committed digests were produced on the
+pre-refactor tree (PR 1-4 wrappers), so a match *is* the differential
+proof the refactor claims.
+
+Usage::
+
+    PYTHONPATH=src python scripts/stack_goldens.py          # verify
+    PYTHONPATH=src python scripts/stack_goldens.py --update # regenerate
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.study import Study
+from repro.dataset.worldgen import generate_world
+from repro.exec import StudyExecutor
+from repro.faults import FaultPlan
+from repro.reporting.golden import GOLDEN_CONFIG
+from repro.reporting.report import render_markdown_report
+from repro.retry import DEFAULT_MASKING_POLICY
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_RELPATH = "tests/golden/stack_differential.json"
+
+#: Differential scenarios: name -> (fault plan, retry policy, workers).
+#: The masked pairs prove fault+retry layering is inert; the parallel
+#: pairs prove the sharded stack merges byte-identically; the unretried
+#: net scenario pins the *degraded* report too (confinement is covered
+#: by the chaos tier, byte-stability by this digest).
+def scenarios() -> dict[str, tuple[FaultPlan | None, object, int]]:
+    masked_plan = FaultPlan.transient_everywhere(rate=0.2, seed=5)
+    return {
+        "clean-serial": (None, None, 1),
+        "clean-parallel": (None, None, 3),
+        "masked-serial": (masked_plan, DEFAULT_MASKING_POLICY, 1),
+        "masked-parallel": (masked_plan, DEFAULT_MASKING_POLICY, 3),
+        "net-unretried-serial": (
+            FaultPlan.transient_net(rate=0.2, seed=5), None, 1
+        ),
+    }
+
+
+def compute_digests() -> dict[str, str]:
+    """Render every scenario's report and digest it (deterministic)."""
+    world = generate_world(GOLDEN_CONFIG)
+    digests: dict[str, str] = {}
+    for name, (faults, retry_policy, workers) in scenarios().items():
+        study = Study.from_world(
+            world, faults=faults, retry_policy=retry_policy
+        )
+        report = study.run(executor=StudyExecutor(workers=workers))
+        rendered = render_markdown_report(report, title=f"stack golden: {name}")
+        digests[name] = hashlib.sha256(
+            rendered.encode("utf-8")
+        ).hexdigest()
+    return digests
+
+
+def golden_path(root: str | Path = REPO_ROOT) -> Path:
+    return Path(root) / GOLDEN_RELPATH
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the committed digests"
+    )
+    args = parser.parse_args(argv)
+    digests = compute_digests()
+    path = golden_path()
+    if args.update:
+        path.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+        for name, digest in sorted(digests.items()):
+            print(f"  {name}: {digest[:16]}")
+        return 0
+    committed = json.loads(path.read_text())
+    failures = {
+        name: (committed.get(name), digest)
+        for name, digest in digests.items()
+        if committed.get(name) != digest
+    }
+    for name, (want, got) in sorted(failures.items()):
+        print(f"MISMATCH {name}: committed {want} != measured {got}")
+    if not failures:
+        print(f"all {len(digests)} differential digests match")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

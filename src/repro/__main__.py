@@ -21,6 +21,7 @@ import time
 
 from .analysis.redirects import RedirectValidator
 from .analysis.study import Study
+from .backends import StackConfig
 from .dataset.worldgen import WorldConfig, generate_world
 from .iabot.medic import WaybackMedic
 from .net.status import Outcome
@@ -39,9 +40,29 @@ def _build_world(args) -> "tuple":
     return world
 
 
+def _run_study(args, world):
+    """Run the study under the subcommand's stack flags."""
+    config = StackConfig.from_args(args)
+    tracer = config.build_tracer()
+    report = Study.from_world(
+        world,
+        faults=config.build_faults(),
+        retry_policy=config.build_retry_policy(),
+    ).run(tracer=tracer)
+    if tracer is not None:
+        tracer.write_jsonl(config.trace)
+        print(f"trace: {len(tracer.spans)} spans -> {config.trace}")
+    if config.metrics_json is not None:
+        config.metrics_json.write_text(
+            json.dumps(report.stats.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"metrics: {config.metrics_json}")
+    return report
+
+
 def _cmd_study(args) -> int:
     world = _build_world(args)
-    report = Study.from_world(world).run()
+    report = _run_study(args, world)
     if args.markdown:
         from .reporting.report import render_markdown_report
 
@@ -69,7 +90,7 @@ def _cmd_study(args) -> int:
 
 def _cmd_calibrate(args) -> int:
     world = _build_world(args)
-    report = Study.from_world(world).run()
+    report = _run_study(args, world)
     n = report.sample_size
     counts = report.counts
     table = ComparisonTable(title="paper vs measured")
@@ -209,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         cmd = sub.add_parser(name)
         cmd.add_argument("--links", type=int, default=3000)
         cmd.add_argument("--seed", type=int, default=2022)
+        if name in ("study", "calibrate"):
+            StackConfig.add_stack_args(cmd)
         if name == "study":
             cmd.add_argument(
                 "--markdown",

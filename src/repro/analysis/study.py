@@ -26,12 +26,13 @@ from ..clock import SimTime
 from ..dataset.collector import Collector
 from ..dataset.records import Dataset, LinkRecord
 from ..dataset.sampler import sample_iabot_marked
+from ..backends.stacks import BackendStack
 from ..exec import (
     MAX_REDIRECT_COPIES_PER_LINK,
     StudyExecutor,
     StudyStats,
 )
-from ..faults import FaultPlan, faulty_cdx, faulty_fetcher
+from ..faults import FaultPlan
 from ..net.fetch import Fetcher
 from ..net.status import Outcome
 from ..obs.trace import Tracer
@@ -216,30 +217,21 @@ class Study:
         ``sample_size`` IABot-marked links.
 
         ``faults`` studies the *same* world through sabotaged probes:
-        the live-web fetcher and the CDX API are wrapped in the plan's
-        injectors (world generation itself stays fault-free, so the
-        ground truth is shared with the clean run — the differential
-        harness depends on that). ``retry_policy`` arms the clients
-        against the transients.
+        the (fault plan, retry policy) pair becomes a
+        :class:`~repro.backends.stacks.BackendStack` and the stack
+        assembles the clients — see its docstring for the invariants
+        the differential harness depends on.
         """
         collector = Collector(world.encyclopedia, world.site_rankings)
         collected = collector.collect(article_limit=article_limit)
         k = sample_size if sample_size is not None else world.config.target_sample
         sampled = sample_iabot_marked(collected, k, seed=seed)
         dataset = collector.to_dataset(sampled, description="our dataset")
-        if faults is not None and faults.net_active:
-            fetcher = faulty_fetcher(world.web, faults, retry_policy=retry_policy)
-        else:
-            fetcher = world.fetcher()
-            if retry_policy is not None:
-                fetcher = Fetcher(
-                    world.web.dns, world.web, retry_policy=retry_policy
-                )
-        cdx = faulty_cdx(world.cdx, faults) if faults is not None else world.cdx
+        stack = BackendStack(faults=faults, retry_policy=retry_policy)
         return cls(
             records=dataset.records,
-            fetcher=fetcher,
-            cdx=cdx,
+            fetcher=stack.fetcher(world),
+            cdx=stack.cdx(world.cdx),
             at=world.study_time,
             rngs=RngRegistry(seed),
             retry_policy=retry_policy,

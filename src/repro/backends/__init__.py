@@ -1,0 +1,83 @@
+"""Composable backend middleware: one layer stack for every client.
+
+The study's three backends (live-web fetch, CDX, Availability) share
+four cross-cutting concerns — memoization, retry, fault injection, and
+observability. :mod:`repro.backends.core` provides each concern as a
+typed, order-checked layer over a common ``Backend[Req, Resp]`` call
+protocol; :mod:`repro.backends.stacks` assembles the concrete stacks;
+:mod:`repro.backends.config` carries the shared entry-point knobs.
+
+Canonical order (outermost first)::
+
+    metrics -> cache -> trace -> retry -> fault -> base
+
+See README "Architecture" for the ordering contract and the laws each
+relative position encodes.
+
+Only the kernel is imported eagerly: :mod:`.stacks` depends on the
+client modules (``net.fetch``, ``faults.inject``) which themselves
+build on :mod:`.core`, so the concrete names resolve lazily (PEP 562)
+to keep that dependency edge acyclic.
+"""
+
+from importlib import import_module
+
+from .core import (
+    MISS,
+    Backend,
+    CacheLayer,
+    FaultGate,
+    FaultLayer,
+    Layer,
+    MetricsLayer,
+    Op,
+    RetryLayer,
+    SpanSpec,
+    TraceLayer,
+    layer_names,
+    validate_stack_order,
+)
+
+#: Lazily resolved exports: name -> defining submodule.
+_LAZY = {
+    "BackendStack": ".stacks",
+    "CdxBackend": ".stacks",
+    "FetchBackend": ".stacks",
+    "normalize_scope_query": ".stacks",
+    "PLAN_FACTORIES": ".config",
+    "StackConfig": ".config",
+}
+
+__all__ = [
+    "MISS",
+    "Backend",
+    "BackendStack",
+    "CacheLayer",
+    "CdxBackend",
+    "FaultGate",
+    "FaultLayer",
+    "FetchBackend",
+    "Layer",
+    "MetricsLayer",
+    "Op",
+    "PLAN_FACTORIES",
+    "RetryLayer",
+    "SpanSpec",
+    "StackConfig",
+    "TraceLayer",
+    "layer_names",
+    "normalize_scope_query",
+    "validate_stack_order",
+]
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value
+    return value

@@ -8,8 +8,11 @@ production-shaped one without changing a single measured number:
 - :class:`StudyExecutor` — shards the record list across processes
   (or runs in-process for determinism-sensitive tests) and merges
   results in record order;
-- :class:`CachingCdxApi` / :class:`CachingFetcher` — exact memo caches
-  over the two backends, with hit/miss accounting;
+- the memoizing backend stacks it builds per shard —
+  :class:`~repro.backends.stacks.FetchBackend` /
+  :class:`~repro.backends.stacks.CdxBackend`, exact memo caches over
+  the two backends with hit/miss accounting (see
+  :mod:`repro.backends`);
 - :class:`StudyStats` — per-phase wall time plus fetch/query/cache
   counters, attached to every study report; a thin view over a
   :class:`~repro.obs.metrics.MetricsRegistry` so worker shards can
@@ -23,7 +26,6 @@ grafts back on merge. All of it is opt-in and inert — traced and
 untraced runs produce byte-identical reports.
 """
 
-from .cache import CachingCdxApi, CachingFetcher
 from .executor import StageResult, StudyExecutor
 from .stats import StudyStats
 from .worker import (
@@ -33,8 +35,6 @@ from .worker import (
 )
 
 __all__ = [
-    "CachingCdxApi",
-    "CachingFetcher",
     "MAX_REDIRECT_COPIES_PER_LINK",
     "RecordOutcome",
     "StageResult",

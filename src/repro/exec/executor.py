@@ -24,12 +24,12 @@ import time
 from dataclasses import dataclass, field
 
 from ..archive.cdx import CdxApi
+from ..backends.stacks import CdxBackend, FetchBackend
 from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher
 from ..obs.trace import Tracer
 from ..retry import RetryPolicy
-from .cache import CachingCdxApi, CachingFetcher
 from .stats import StudyStats
 from .worker import (
     MAX_REDIRECT_COPIES_PER_LINK,
@@ -47,15 +47,15 @@ class StageResult:
 
     Attributes:
         outcomes: one :class:`RecordOutcome` per record, in input order.
-        fetcher: parent-side caching fetcher, pre-seeded with every
-            probe result — later phases should fetch through it.
-        cdx: parent-side caching CDX API for the later phases.
+        fetcher: parent-side memoizing fetch stack, pre-seeded with
+            every probe result — later phases should fetch through it.
+        cdx: parent-side memoizing CDX stack for the later phases.
         shards: how many shards actually ran.
     """
 
     outcomes: list[RecordOutcome]
-    fetcher: CachingFetcher
-    cdx: CachingCdxApi
+    fetcher: FetchBackend
+    cdx: CdxBackend
     shards: int = 1
 
 
@@ -76,7 +76,7 @@ class StudyExecutor:
             the world without pickling it) and the platform default
             otherwise.
         max_redirect_copies: per-link bound on §4.2 cross-examinations.
-        retry_policy: backoff schedule the exec-layer caching wrappers
+        retry_policy: backoff schedule the memoizing backend stacks
             apply to transient backend failures, in the parent and in
             every worker shard; ``None`` never retries.
     """
@@ -111,10 +111,10 @@ class StudyExecutor:
         the phases that follow.
         """
         workers = min(self.resolved_workers, max(len(records), 1))
-        parent_fetcher = CachingFetcher(
+        parent_fetcher = FetchBackend(
             fetcher, retry_policy=self.retry_policy, tracer=tracer
         )
-        parent_cdx = CachingCdxApi(
+        parent_cdx = CdxBackend(
             cdx, retry_policy=self.retry_policy, tracer=tracer
         )
 
@@ -170,8 +170,8 @@ class StudyExecutor:
     def _execute_serial(
         self,
         records: list[LinkRecord],
-        fetcher: CachingFetcher,
-        cdx: CachingCdxApi,
+        fetcher: FetchBackend,
+        cdx: CdxBackend,
         at: SimTime,
         stats: StudyStats | None = None,
         tracer: Tracer | None = None,

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 from dataclasses import dataclass
 
 from ..archive.cdx import CdxApi
+from ..backends.stacks import CdxBackend, FetchBackend
 from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher
@@ -37,7 +38,6 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.provenance import RecordProvenance, backend_snapshot
 from ..obs.trace import Span, Tracer
 from ..retry import RetryCounters, RetryPolicy
-from .cache import CachingCdxApi, CachingFetcher
 
 if TYPE_CHECKING:
     from ..analysis.copies import CopyCensus
@@ -101,8 +101,8 @@ class ShardResult:
 
 def run_record_stage(
     record: LinkRecord,
-    fetcher: Fetcher | CachingFetcher,
-    cdx: CdxApi | CachingCdxApi,
+    fetcher: Fetcher | FetchBackend,
+    cdx: CdxApi | CdxBackend,
     at: SimTime,
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK,
     tracer: Tracer | None = None,
@@ -209,7 +209,7 @@ def set_context(context: WorkerContext | None) -> None:
     _CONTEXT = context
 
 
-def _fetcher_retry_counters(fetcher: Fetcher | CachingFetcher) -> RetryCounters:
+def _fetcher_retry_counters(fetcher: Fetcher | FetchBackend) -> RetryCounters:
     """The retry counters of a fetch backend, tolerating foreign ones."""
     counters = getattr(fetcher, "retry_counters", None)
     return counters if counters is not None else RetryCounters()
@@ -234,10 +234,10 @@ def run_shard(span: tuple[int, int]) -> ShardResult:
     start, stop = span
     tracer = Tracer(prefix=f"w{start}.") if context.trace else None
     metrics = MetricsRegistry()
-    fetcher = CachingFetcher(
+    fetcher = FetchBackend(
         context.fetcher, retry_policy=context.retry_policy, tracer=tracer
     )
-    cdx = CachingCdxApi(
+    cdx = CdxBackend(
         context.cdx, retry_policy=context.retry_policy, tracer=tracer
     )
     inner = _fetcher_retry_counters(context.fetcher)

@@ -23,13 +23,6 @@ the fault-free run; with retries disabled, degradation is confined to
 the Figure-4 outcome buckets the faults map onto.
 """
 
-from ..retry import (
-    DEFAULT_MASKING_POLICY,
-    RetryCounters,
-    RetryPolicy,
-    call_with_retry,
-    is_transient,
-)
 from .inject import (
     FaultChannel,
     FaultyAvailabilityApi,
@@ -43,7 +36,6 @@ from .inject import (
 from .plan import FaultPlan, FaultPlanError, FaultSpec
 
 __all__ = [
-    "DEFAULT_MASKING_POLICY",
     "FaultChannel",
     "FaultPlan",
     "FaultPlanError",
@@ -52,11 +44,7 @@ __all__ = [
     "FaultyCdxApi",
     "FaultyDns",
     "FaultyOrigin",
-    "RetryCounters",
-    "RetryPolicy",
-    "call_with_retry",
     "faulty_availability",
     "faulty_cdx",
     "faulty_fetcher",
-    "is_transient",
 ]

@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from ..backends.core import Op, RetryLayer
 from ..clock import SimTime
 from ..errors import ConnectionTimeout, DnsError, UrlError
 from ..obs.trace import Tracer
-from ..retry import RetryCounters, RetryPolicy, call_with_retry
+from ..retry import RetryCounters, RetryPolicy
 from ..urls.parse import ParsedUrl, parse_url
 from .dns import DnsTable
 from .http import HttpRequest, HttpResponse
@@ -126,6 +127,21 @@ class Fetcher:
         self._tracer = tracer
         self._fetch_count = 0
         self.retry_counters = RetryCounters()
+        # The two transport legs ride the shared retry layer; both pool
+        # into this fetcher's RetryCounters, so retry/giveup/backoff
+        # accounting spans DNS and connect together.
+        self._resolve = RetryLayer(
+            Op("dns.resolve", lambda req: self._dns.resolve(req[0], req[1])),
+            policy=retry_policy,
+            key_fn=lambda req: f"dns:{req[0]}",
+            counters=self.retry_counters,
+        )
+        self._connect = RetryLayer(
+            Op("origin.handle", lambda req: self._origin.handle(*req)),
+            policy=retry_policy,
+            key_fn=lambda req: f"connect:{req[1].url}",
+            counters=self.retry_counters,
+        )
 
     @property
     def fetch_count(self) -> int:
@@ -181,12 +197,7 @@ class Fetcher:
         for _ in range(self._max_redirects + 1):
             host = current.host_lower
             try:
-                record = call_with_retry(
-                    lambda: self._dns.resolve(host, at),
-                    self._retry_policy,
-                    key=f"dns:{host}",
-                    counters=self.retry_counters,
-                )
+                record = self._resolve.call((host, at))
             except DnsError as exc:
                 if chain:
                     # A redirect pointed at a dead hostname; the final
@@ -203,12 +214,7 @@ class Fetcher:
                 )
             request = HttpRequest(url=current)
             try:
-                response = call_with_retry(
-                    lambda: self._origin.handle(record.address, request, at),
-                    self._retry_policy,
-                    key=f"connect:{current}",
-                    counters=self.retry_counters,
-                )
+                response = self._connect.call((record.address, request, at))
             except ConnectionTimeout as exc:
                 if chain:
                     return FetchResult(

@@ -11,22 +11,26 @@ workload epoch, threaded through every call. Nothing here reads a wall
 clock, which is what makes hit/miss/eviction sequences — and therefore
 the service benchmarks — exactly reproducible.
 
-Counters live in the shared :class:`~repro.obs.metrics.MetricsRegistry`
-under ``service.cache.*``, the same registry the rest of the service
-folds into.
+The cache itself is the bounded/aged posture of the shared
+:class:`~repro.backends.core.CacheLayer` — the same implementation the
+exec layer runs unbounded — used imperatively (``get``/``put``) since
+the request path, not a backend call, decides what to store. Counters
+live in the shared :class:`~repro.obs.metrics.MetricsRegistry` under
+``service.cache.*``, the same registry the rest of the service folds
+into.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Any
 
+from ..backends.core import MISS, CacheLayer
 from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ResultCache"]
 
 
-class ResultCache:
+class ResultCache(CacheLayer):
     """A bounded memo of (key → response body) with per-entry TTL.
 
     Args:
@@ -46,20 +50,14 @@ class ResultCache:
         ttl_ms: float | None = 60_000.0,
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        if capacity < 1:
-            raise ValueError("cache capacity must be >= 1")
-        if ttl_ms is not None and ttl_ms <= 0:
-            raise ValueError("ttl_ms must be positive (or None)")
-        self.capacity = capacity
-        self.ttl_ms = ttl_ms
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._entries: OrderedDict[str, tuple[Any, float]] = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        super().__init__(
+            inner=None,
+            capacity=capacity,
+            ttl_ms=ttl_ms,
+            metrics=self.metrics,
+            metric_prefix="service.cache",
+        )
 
     def get(self, key: str, now_ms: float) -> Any | None:
         """The cached body for ``key``, or None on miss/expiry.
@@ -68,48 +66,9 @@ class ResultCache:
         entries age from their store time, so a hot key still ages
         out and re-reads the index on schedule).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.metrics.counter("service.cache.misses").inc()
-            return None
-        body, stored_at = entry
-        if self.ttl_ms is not None and now_ms - stored_at >= self.ttl_ms:
-            del self._entries[key]
-            self.metrics.counter("service.cache.expirations").inc()
-            self.metrics.counter("service.cache.misses").inc()
-            return None
-        self._entries.move_to_end(key)
-        self.metrics.counter("service.cache.hits").inc()
-        return body
+        value = self.lookup(key, now_ms)
+        return None if value is MISS else value
 
     def put(self, key: str, body: Any, now_ms: float) -> None:
         """Store ``body`` under ``key`` as of ``now_ms``."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (body, now_ms)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.metrics.counter("service.cache.evictions").inc()
-        self.metrics.gauge("service.cache.size").set(len(self._entries))
-
-    @property
-    def hits(self) -> int:
-        return self.metrics.counter("service.cache.hits").int_value
-
-    @property
-    def misses(self) -> int:
-        return self.metrics.counter("service.cache.misses").int_value
-
-    @property
-    def evictions(self) -> int:
-        return self.metrics.counter("service.cache.evictions").int_value
-
-    @property
-    def expirations(self) -> int:
-        return self.metrics.counter("service.cache.expirations").int_value
-
-    @property
-    def hit_rate(self) -> float:
-        """Share of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        self.store(key, body, now_ms)

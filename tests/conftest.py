@@ -52,6 +52,7 @@ from repro.web.world import LiveWeb
 #: if a refactor orphaned its tests).
 COVERAGE_CONCERNS = (
     "repro.analysis.study",
+    "repro.backends",
     "repro.exec",
     "repro.faults",
     "repro.obs",

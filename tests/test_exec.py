@@ -1,6 +1,6 @@
-"""Tests for repro.exec: caching backends and the sharded executor.
+"""Tests for repro.exec: memoizing backend stacks and the sharded executor.
 
-The cache wrappers must be *exact* — byte-identical answers to the
+The memo stacks must be *exact* — byte-identical answers to the
 unwrapped backends — and the executor must produce the same
 :class:`StudyReport` at any worker count. Both properties are what the
 rest of the suite (and the paper numbers) silently rely on.
@@ -14,10 +14,12 @@ import pytest
 
 from repro.analysis.study import Study, StudyReport
 from repro.archive.cdx import CdxQuery, MatchType
+from repro.backends import CdxBackend, FetchBackend
 from repro.dataset.worldgen import WorldConfig, generate_world
-from repro.exec import CachingCdxApi, CachingFetcher, StudyExecutor
+from repro.exec import StudyExecutor
 from repro.exec.executor import _shard_spans
-from repro.faults import DEFAULT_MASKING_POLICY, FaultPlan
+from repro.faults import FaultPlan
+from repro.retry import DEFAULT_MASKING_POLICY
 
 
 @pytest.fixture(scope="module")
@@ -61,7 +63,7 @@ def _sans_provenance(outcomes):
 # -- caching backends --------------------------------------------------------------
 
 
-class TestCachingCdxApi:
+class TestCdxBackend:
     def _queries(self, study: Study) -> list[CdxQuery]:
         queries: list[CdxQuery] = []
         for record in study.records[:40]:
@@ -88,7 +90,7 @@ class TestCachingCdxApi:
 
     def test_identical_to_unwrapped(self, tiny_world):
         raw = tiny_world.cdx
-        cached = CachingCdxApi(raw)
+        cached = CdxBackend(raw)
         for query in self._queries(_fresh_study(tiny_world)):
             assert cached.query(query) == raw.query(query), query
             assert cached.archived_urls(query) == raw.archived_urls(
@@ -97,7 +99,7 @@ class TestCachingCdxApi:
 
     def test_counters_advance_and_absorb_repeats(self, tiny_world):
         raw = tiny_world.cdx
-        cached = CachingCdxApi(raw)
+        cached = CdxBackend(raw)
         queries = self._queries(_fresh_study(tiny_world))
         for query in queries:
             cached.query(query)
@@ -115,11 +117,11 @@ class TestCachingCdxApi:
         assert 0.0 < cached.hit_rate < 1.0
 
 
-class TestCachingFetcher:
+class TestFetchBackend:
     def test_identical_to_unwrapped(self, tiny_world):
         study = _fresh_study(tiny_world)
         raw = tiny_world.fetcher()
-        cached = CachingFetcher(tiny_world.fetcher())
+        cached = FetchBackend(tiny_world.fetcher())
         for record in study.records[:30]:
             assert cached.fetch(record.url, study.at) == raw.fetch(
                 record.url, study.at
@@ -127,7 +129,7 @@ class TestCachingFetcher:
 
     def test_repeat_fetches_hit_the_memo(self, tiny_world):
         study = _fresh_study(tiny_world)
-        cached = CachingFetcher(tiny_world.fetcher())
+        cached = FetchBackend(tiny_world.fetcher())
         urls = list(dict.fromkeys(r.url for r in study.records[:30]))
         first = [cached.fetch(url, study.at) for url in urls]
         assert cached.hits == 0 and cached.misses == len(urls)
@@ -143,7 +145,7 @@ class TestCachingFetcher:
         study = _fresh_study(tiny_world)
         url = study.records[0].url
         probe = tiny_world.fetcher().fetch(url, study.at)
-        cached = CachingFetcher(tiny_world.fetcher())
+        cached = FetchBackend(tiny_world.fetcher())
         cached.seed(url, study.at, probe)
         assert cached.hits == 0 and cached.misses == 0
         assert cached.fetch(url, study.at) is probe

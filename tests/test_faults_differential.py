@@ -32,14 +32,13 @@ from repro.dataset.worldgen import WorldConfig, generate_world
 from repro.errors import ArchiveUnavailable, CdxRateLimited
 from repro.exec import StudyExecutor
 from repro.faults import (
-    DEFAULT_MASKING_POLICY,
     FaultChannel,
     FaultPlan,
     FaultSpec,
     FaultyAvailabilityApi,
-    RetryPolicy,
     faulty_availability,
 )
+from repro.retry import DEFAULT_MASKING_POLICY, RetryPolicy
 from repro.iabot.archive_client import IABotArchiveClient
 from repro.net.status import Outcome
 
