@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from ..archive.cdx import CdxApi, CdxQuery, MatchType
 from ..archive.snapshot import Snapshot
-from ..textsim.shingles import sketch_similarity
+from .columnar import sketch_similarity_batch
 
 #: Sketch similarity above which two captures are "the same boilerplate".
 BOILERPLATE_SIMILARITY = 0.9
@@ -44,7 +44,16 @@ def archived_copy_erroneous(snapshot: Snapshot, cdx: CdxApi) -> bool:
 
 def _body_is_boilerplate(snapshot: Snapshot, cdx: CdxApi) -> bool:
     """Does another URL on this host have the same content near this
-    capture time?"""
+    capture time?
+
+    The candidate scan (filters, blanket-redirect signature, the
+    examined-row budget) is unchanged from the per-record original;
+    only the sketch comparisons at the end run as one columnar batch
+    instead of a per-row call. The decision is identical: the original
+    returned True at the first similar candidate among the first
+    :data:`MAX_TWIN_CANDIDATES` examined, which is exactly "any
+    candidate similar" over the same set.
+    """
     if not snapshot.sketch:
         return False
     rows = cdx.query(
@@ -57,6 +66,7 @@ def _body_is_boilerplate(snapshot: Snapshot, cdx: CdxApi) -> bool:
         )
     )
     examined = 0
+    candidates: list[tuple[int, ...]] = []
     for row in rows:
         if not row.sketch or row.final_status != 200:
             continue
@@ -71,6 +81,10 @@ def _body_is_boilerplate(snapshot: Snapshot, cdx: CdxApi) -> bool:
         examined += 1
         if examined > MAX_TWIN_CANDIDATES:
             break
-        if sketch_similarity(row.sketch, snapshot.sketch) >= BOILERPLATE_SIMILARITY:
-            return True
-    return False
+        candidates.append(row.sketch)
+    if not candidates:
+        return False
+    fractions = sketch_similarity_batch(
+        [(sketch, snapshot.sketch) for sketch in candidates]
+    )
+    return any(f >= BOILERPLATE_SIMILARITY for f in fractions)

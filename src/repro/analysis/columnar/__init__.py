@@ -1,0 +1,121 @@
+"""Array-backed batch kernels for the analysis hot path.
+
+The Figure 3–6 aggregations, ECDF/KS construction, and the §3
+shingle/MinHash similarity checks used to walk per-record Python
+objects — the dominant batch-side wall-time sink once the exec tracer
+could attribute study time precisely. This package replaces those
+loops with columnar batch kernels:
+
+- :func:`bucket_counts` — Figure 4 outcome histograms;
+- :func:`sorted_floats` / :func:`ks_distance` — ECDF backing arrays
+  and Kolmogorov-Smirnov distances (Figures 3, 5, 6);
+- :func:`shingle_similarity_batch` — exact k-shingle Jaccard for many
+  document pairs at once (§3 soft-404 screening);
+- :func:`minhash_sketch_batch` — MinHash sketches for many documents
+  at once (archive capture, benchmarks);
+- :func:`sketch_similarity_batch` — MinHash match fractions for many
+  sketch pairs at once (archived-copy boilerplate evidence).
+
+Every kernel ships two implementations behind this one interface —
+pure stdlib (``array``/bytes/ints) in :mod:`._stdlib_impl` and
+vectorised numpy in :mod:`._numpy_impl` — selected at import time by
+:mod:`repro.numerics` (``REPRO_ANALYSIS_BACKEND`` overrides; the
+``repro[numpy]`` extra installs the fast backend). The pair is proven
+**value-identical** by differential tests: swapping backends never
+changes a byte of any :class:`~repro.analysis.study.StudyReport`.
+
+Exactness notes. ``shingle_similarity_batch`` is *not* an estimate:
+documents are re-encoded over a per-batch token vocabulary and each
+k-shingle packed injectively into one integer, so set sizes — and
+therefore the Jaccard value — equal the tuple-of-strings reference
+(:func:`repro.textsim.shingles.shingle_similarity`) exactly. The
+numpy packing needs ``(vocab+1)**k <= 2**64`` to stay injective in
+uint64; batches beyond that bound fall back to the arbitrary-precision
+stdlib path rather than ever returning an approximate value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...numerics import (
+    BACKEND,
+    BACKEND_ENV,
+    backend_name,
+    force_backend,
+    get_numpy,
+    ks_distance,
+    sorted_floats,
+)
+from ...textsim.shingles import DEFAULT_K
+
+__all__ = [
+    "BACKEND",
+    "BACKEND_ENV",
+    "backend_name",
+    "bucket_counts",
+    "force_backend",
+    "ks_distance",
+    "minhash_sketch_batch",
+    "shingle_similarity_batch",
+    "sketch_similarity_batch",
+    "sorted_floats",
+]
+
+
+def _impl():
+    """The active implementation module (numpy when available)."""
+    if get_numpy() is not None:
+        from . import _numpy_impl
+
+        return _numpy_impl
+    from . import _stdlib_impl
+
+    return _stdlib_impl
+
+
+def bucket_counts(labels: Iterable, order: Sequence = ()) -> dict:
+    """Histogram of ``labels``, presentation-ordered.
+
+    Keys in ``order`` appear first (zero-filled when absent from
+    ``labels``); labels outside ``order`` are appended in first-seen
+    order — the Figure 4 contract
+    (:func:`repro.analysis.live_status.outcome_counts`).
+    """
+    return _impl().bucket_counts(labels, order)
+
+
+def shingle_similarity_batch(
+    pairs: Sequence[tuple[str, str]], k: int = DEFAULT_K
+) -> list[float]:
+    """Exact k-shingle Jaccard similarity for each ``(text_a, text_b)``.
+
+    Value-identical to calling
+    :func:`repro.textsim.shingles.shingle_similarity` per pair.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return _impl().shingle_similarity_batch(pairs, k)
+
+
+def minhash_sketch_batch(
+    texts: Sequence[str], k: int = DEFAULT_K
+) -> list[tuple[int, ...]]:
+    """MinHash sketches for many documents at once.
+
+    Value-identical to calling
+    :func:`repro.textsim.shingles.minhash_sketch` per document.
+    """
+    return _impl().minhash_sketch_batch(texts, k)
+
+
+def sketch_similarity_batch(
+    pairs: Sequence[tuple[tuple[int, ...], tuple[int, ...]]],
+) -> list[float]:
+    """MinHash match fraction for each ``(sketch_a, sketch_b)`` pair.
+
+    Value-identical to calling
+    :func:`repro.textsim.shingles.sketch_similarity` per pair
+    (including the ``ValueError`` on mismatched sketch lengths).
+    """
+    return _impl().sketch_similarity_batch(pairs)

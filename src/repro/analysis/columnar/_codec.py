@@ -1,0 +1,96 @@
+"""Shared batch encoding for the similarity kernels.
+
+Both backends re-encode documents the same way: tokens get dense ids
+from a per-batch vocabulary, and each k-shingle packs its k digits
+(``id + 1``; 0 is reserved for the padding of sub-k documents) into a
+single base-``vocab+1`` integer. The packing is injective whenever
+every digit is below the base, so shingle-*set* sizes — and therefore
+exact Jaccard values — survive the encoding unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...textsim.shingles import tokenize
+
+
+def dedup_texts(
+    pairs: Sequence[tuple[str, str]]
+) -> tuple[list[str], list[tuple[int, int]]]:
+    """Distinct documents of a pair batch, plus per-pair doc indices.
+
+    Soft-404 batches repeat documents — the same boilerplate body shows
+    up on both sides of many pairs — so both backends tokenize, encode
+    and window each *distinct* text once and look the results up per
+    pair. Returns ``(texts, refs)`` where ``refs[i]`` holds the indices
+    into ``texts`` of pair ``i``'s two documents.
+    """
+    index: dict[str, int] = {}
+    texts: list[str] = []
+    refs: list[tuple[int, int]] = []
+    for a, b in pairs:
+        ia = index.get(a)
+        if ia is None:
+            ia = index[a] = len(texts)
+            texts.append(a)
+        ib = index.get(b)
+        if ib is None:
+            ib = index[b] = len(texts)
+            texts.append(b)
+        refs.append((ia, ib))
+    return texts, refs
+
+
+def token_id_lists(
+    texts: Sequence[str], vocab: dict[str, int]
+) -> list[list[int]]:
+    """Dense token ids per document, growing ``vocab`` in place.
+
+    ``setdefault(token, len(vocab))`` evaluates ``len(vocab)`` before
+    any insertion, so a new token gets exactly the next dense id — the
+    comprehension form of the obvious get/insert loop, kept because
+    this runs once per token of every batched document.
+    """
+    setdefault = vocab.setdefault
+    return [
+        [setdefault(token, len(vocab)) for token in tokenize(text)]
+        for text in texts
+    ]
+
+
+def pack_codes(ids: list[int], k: int, base: int) -> set[int]:
+    """The packed-shingle set of one document (pure Python ints).
+
+    Mirrors :func:`repro.textsim.shingles.shingle_set` exactly: empty
+    documents encode to the empty set; documents shorter than ``k``
+    tokens encode to the single truncated shingle, right-padded with
+    the reserved 0 digit so different truncation lengths stay
+    distinct.
+    """
+    n = len(ids)
+    if n == 0:
+        return set()
+    if n < k:
+        code = 0
+        for digit in ids:
+            code = code * base + digit + 1
+        return {code * base ** (k - n)}
+    codes: set[int] = set()
+    for start in range(n - k + 1):
+        code = 0
+        for digit in ids[start: start + k]:
+            code = code * base + digit + 1
+        codes.add(code)
+    return codes
+
+
+def exact_jaccard(a: set[int], b: set[int]) -> float:
+    """|a ∩ b| / |a ∪ b| with the empty-vs-empty convention of
+    :func:`repro.textsim.shingles.jaccard`."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union

@@ -1,0 +1,55 @@
+"""Pure-stdlib backend for the columnar kernels.
+
+Fast enough to keep a numpy-free install fully functional, and the
+semantic reference the numpy backend is differentially tested against.
+Documents are packed into plain Python ints (arbitrary precision, so
+no vocabulary bound applies) and compared as ``set`` objects — already
+several times cheaper than the tuple-of-strings sets the per-record
+path built, because int hashing beats k-string tuple hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...textsim.shingles import minhash_sketch, sketch_similarity
+from ._codec import dedup_texts, exact_jaccard, pack_codes, token_id_lists
+
+
+def bucket_counts(labels: Iterable, order: Sequence = ()) -> dict:
+    counts = {label: 0 for label in order}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def shingle_similarity_batch(
+    pairs: Sequence[tuple[str, str]], k: int
+) -> list[float]:
+    texts, refs = dedup_texts(pairs)
+    vocab: dict[str, int] = {}
+    ids = token_id_lists(texts, vocab)
+    base = len(vocab) + 1
+    codes = [pack_codes(doc, k, base) for doc in ids]
+    return [exact_jaccard(codes[ia], codes[ib]) for ia, ib in refs]
+
+
+def minhash_sketch_batch(
+    texts: Sequence[str], k: int
+) -> list[tuple[int, ...]]:
+    # Sketches are pure functions of the text, so repeated documents
+    # sketch once per batch.
+    memo: dict[str, tuple[int, ...]] = {}
+    out: list[tuple[int, ...]] = []
+    for text in texts:
+        sketch = memo.get(text)
+        if sketch is None:
+            sketch = memo[text] = minhash_sketch(text, k)
+        out.append(sketch)
+    return out
+
+
+def sketch_similarity_batch(
+    pairs: Sequence[tuple[tuple[int, ...], tuple[int, ...]]],
+) -> list[float]:
+    return [sketch_similarity(a, b) for a, b in pairs]

@@ -13,6 +13,7 @@ from ..clock import SimTime
 from ..dataset.records import LinkRecord
 from ..net.fetch import Fetcher, FetchResult
 from ..net.status import FIGURE4_ORDER, Outcome
+from .columnar import bucket_counts
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +56,6 @@ def outcome_counts(probes: list[LiveProbe]) -> dict[Outcome, int]:
     probe recorded by an older taxonomy) are appended after the
     presentation-ordered five rather than crashing the whole report.
     """
-    counts = {outcome: 0 for outcome in FIGURE4_ORDER}
-    for probe in probes:
-        counts[probe.outcome] = counts.get(probe.outcome, 0) + 1
-    return counts
+    return bucket_counts(
+        (probe.outcome for probe in probes), order=FIGURE4_ORDER
+    )

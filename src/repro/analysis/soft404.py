@@ -23,9 +23,9 @@ from dataclasses import dataclass
 from ..clock import SimTime
 from ..net.fetch import Fetcher
 from ..rng import Stream
-from ..textsim.shingles import shingle_similarity
 from ..urls.generate import UrlFactory
 from ..urls.parse import parse_url
+from .columnar import shingle_similarity_batch
 
 SIMILARITY_THRESHOLD = 0.99
 
@@ -69,40 +69,70 @@ class Soft404Detector:
         Assumes the caller already observed a 200 final status for
         ``url`` (the §3 pipeline only runs the detector on those).
         """
-        result = self._fetcher.fetch(url, at)
-        probe = self._factory.random_leaf_probe(parse_url(url))
-        probe_result = self._fetcher.fetch(probe, at)
+        return self.check_many([url], at)[0]
 
-        if (
-            result.redirected
-            and probe_result.redirected
-            and result.final_url is not None
-            and result.final_url == probe_result.final_url
-            and not self._looks_like_login(result.body)
+    def check_many(
+        self, urls: list[str], at: SimTime
+    ) -> list[Soft404Verdict]:
+        """Probe every URL and return one verdict each, in order.
+
+        Semantically identical to calling :meth:`check` per URL — the
+        fetches (and the probe-URL RNG draws) happen strictly in list
+        order, which is what keeps seeded runs reproducible — but the
+        shingle similarities of all undecided pairs are computed by
+        one columnar batch kernel instead of a per-record loop.
+        """
+        fetched = []
+        for url in urls:
+            result = self._fetcher.fetch(url, at)
+            probe = self._factory.random_leaf_probe(parse_url(url))
+            probe_result = self._fetcher.fetch(probe, at)
+            fetched.append((url, probe, result, probe_result))
+
+        verdicts: list[Soft404Verdict | None] = [None] * len(fetched)
+        pending: list[int] = []
+        pairs: list[tuple[str, str]] = []
+        for index, (url, probe, result, probe_result) in enumerate(fetched):
+            if (
+                result.redirected
+                and probe_result.redirected
+                and result.final_url is not None
+                and result.final_url == probe_result.final_url
+                and not self._looks_like_login(result.body)
+            ):
+                verdicts[index] = Soft404Verdict(
+                    url=url,
+                    broken=True,
+                    reason="same redirect target as random sibling",
+                    probe_url=str(probe),
+                )
+                continue
+            pending.append(index)
+            pairs.append((result.body, probe_result.body))
+
+        for index, similarity in zip(
+            pending, shingle_similarity_batch(pairs)
         ):
-            return Soft404Verdict(
-                url=url,
-                broken=True,
-                reason="same redirect target as random sibling",
-                probe_url=str(probe),
-            )
-
-        similarity = shingle_similarity(result.body, probe_result.body)
-        if similarity > self._threshold:
-            return Soft404Verdict(
-                url=url,
-                broken=True,
-                reason=f"response {similarity:.4f} similar to random sibling",
-                similarity=similarity,
-                probe_url=str(probe),
-            )
-        return Soft404Verdict(
-            url=url,
-            broken=False,
-            reason="distinct content from random sibling",
-            similarity=similarity,
-            probe_url=str(probe),
-        )
+            url, probe = fetched[index][0], fetched[index][1]
+            if similarity > self._threshold:
+                verdicts[index] = Soft404Verdict(
+                    url=url,
+                    broken=True,
+                    reason=(
+                        f"response {similarity:.4f} similar to random sibling"
+                    ),
+                    similarity=similarity,
+                    probe_url=str(probe),
+                )
+            else:
+                verdicts[index] = Soft404Verdict(
+                    url=url,
+                    broken=False,
+                    reason="distinct content from random sibling",
+                    similarity=similarity,
+                    probe_url=str(probe),
+                )
+        return verdicts
 
     @staticmethod
     def _looks_like_login(body: str) -> bool:

@@ -302,18 +302,21 @@ class Study:
 
         # §3: soft-404 screening of the 200s. Stays in the parent —
         # the detector consumes a sequential RNG stream, so probing in
-        # record order is what keeps seeded runs reproducible.
+        # record order is what keeps seeded runs reproducible; the
+        # shingle similarities of the whole population are computed by
+        # one columnar batch kernel.
         detector = Soft404Detector(stage.fetcher, self.rngs.stream("soft404"))
-        verdicts: list[Soft404Verdict] = []
-        alive_probes: list[LiveProbe] = []
         with stats.phase("soft404", tracer=tracer):
-            for probe in probes:
-                if not probe.returned_200:
-                    continue
-                verdict = detector.check(probe.record.url, self.at)
-                verdicts.append(verdict)
-                if verdict.genuinely_alive:
-                    alive_probes.append(probe)
+            screened = [probe for probe in probes if probe.returned_200]
+            verdicts: list[Soft404Verdict] = detector.check_many(
+                [probe.record.url for probe in screened], self.at
+            )
+            alive_probes: list[LiveProbe] = [
+                probe
+                for probe, verdict in zip(screened, verdicts)
+                if verdict.genuinely_alive
+            ]
+        stats.registry.counter("analysis.soft404.batched").inc(len(screened))
 
         # §4: archived-copy census splits.
         censuses = [outcome.census for outcome in stage.outcomes]

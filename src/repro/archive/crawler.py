@@ -67,6 +67,12 @@ class BodySketcher:
     and caching on that stem makes repeated captures of the same page
     O(1) after the first. The lost token perturbs the true sketch
     negligibly (4 shingles out of hundreds).
+
+    Sketching runs on whichever numeric backend
+    :mod:`repro.numerics` selected — the numpy kernels when the
+    ``repro[numpy]`` extra is installed, value-identical pure-stdlib
+    kernels otherwise — so crawling works in a clean install
+    (``tests/test_install_smoke.py`` pins this).
     """
 
     def __init__(self) -> None:

@@ -24,6 +24,7 @@ import time
 from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
+from ..numerics import backend_name
 from ..obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:
@@ -72,10 +73,17 @@ class StudyStats:
         workers: int = 1,
         shards: int = 1,
         registry: MetricsRegistry | None = None,
+        analysis_backend: str | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.workers = workers
         self.shards = shards
+        #: Which columnar numeric backend ("numpy"/"stdlib") the
+        #: analysis tier ran on — a display tag, not a counter: it is
+        #: identical across shards and never folds.
+        self.analysis_backend = (
+            analysis_backend if analysis_backend is not None else backend_name()
+        )
 
     # -- executor topology (gauges) ----------------------------------------------
 
@@ -298,6 +306,7 @@ class StudyStats:
         return {
             "workers": self.workers,
             "shards": self.shards,
+            "analysis_backend": self.analysis_backend,
             "total_seconds": self.total_seconds,
             "phase_seconds": self.phase_seconds,
             "registry": self.registry.snapshot(),
@@ -312,7 +321,8 @@ class StudyStats:
         executor_line = (
             f"executor: {self.workers} worker(s), "
             f"{self.shards} shard(s), "
-            f"{self.total_seconds:.2f}s total"
+            f"{self.total_seconds:.2f}s total, "
+            f"analysis backend {self.analysis_backend}"
         )
         if self.shard_wall_count:
             executor_line += (

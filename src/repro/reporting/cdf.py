@@ -12,15 +12,22 @@ import math
 from bisect import bisect_right
 from dataclasses import dataclass
 
+from ..numerics import is_sorted, ks_distance, sorted_floats
+
 
 @dataclass(frozen=True)
 class Ecdf:
-    """An empirical CDF over a sorted sample."""
+    """An empirical CDF over a sorted sample.
+
+    Construction and the KS statistic run on the columnar numeric
+    backend (:mod:`repro.numerics`): vectorised when numpy is
+    installed, pure stdlib otherwise, value-identical either way.
+    """
 
     values: tuple[float, ...]
 
     def __post_init__(self) -> None:
-        if any(b < a for a, b in zip(self.values, self.values[1:])):
+        if not is_sorted(self.values):
             raise ValueError("Ecdf values must be sorted")
 
     @property
@@ -49,16 +56,22 @@ class Ecdf:
         return self.values[index]
 
     def series(self, points: int = 50) -> list[tuple[float, float]]:
-        """(x, F(x)) pairs suitable for plotting or printing."""
+        """(x, F(x)) pairs suitable for plotting or printing.
+
+        Tied sample values land on the same (x, F) point whatever
+        index sampled them; such repeats are emitted once.
+        """
         if not self.values:
             return []
         pairs: list[tuple[float, float]] = []
         step = max(len(self.values) // points, 1)
         for index in range(0, len(self.values), step):
             x = self.values[index]
-            pairs.append((x, self.at(x)))
+            pair = (x, self.at(x))
+            if not pairs or pairs[-1] != pair:
+                pairs.append(pair)
         last = self.values[-1]
-        if not pairs or pairs[-1][0] != last:
+        if pairs[-1][0] != last:
             pairs.append((last, 1.0))
         return pairs
 
@@ -71,10 +84,9 @@ class Ecdf:
         """
         if not self.values or not other.values:
             return 1.0 if bool(self.values) != bool(other.values) else 0.0
-        grid = sorted(set(self.values) | set(other.values))
-        return max(abs(self.at(x) - other.at(x)) for x in grid)
+        return ks_distance(self.values, other.values)
 
 
 def ecdf(sample: list[float] | list[int]) -> Ecdf:
     """Build an :class:`Ecdf` from an unsorted sample."""
-    return Ecdf(values=tuple(sorted(float(v) for v in sample)))
+    return Ecdf(values=sorted_floats(sample))

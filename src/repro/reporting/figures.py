@@ -19,7 +19,6 @@ def render_cdf(
     title: str,
     x_label: str,
     log_x: bool = False,
-    width: int = 60,
     points: int = 12,
 ) -> str:
     """Tabular CDF rendering: one column of F(x) per series.

@@ -11,14 +11,35 @@ differ slightly (timestamps, ads, request ids).
 from __future__ import annotations
 
 import re
+import zlib
+
+from ..numerics import get_numpy
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Maps every ASCII character outside [a-z0-9] to a space, so ASCII
+#: text tokenizes with translate+split (~3x faster than the regex
+#: scan) while producing the identical token list.
+_ASCII_TO_SPACE = str.maketrans({
+    chr(c): " "
+    for c in range(128)
+    if not ("a" <= chr(c) <= "z" or "0" <= chr(c) <= "9")
+})
 
 DEFAULT_K = 4
 
 
 def tokenize(text: str) -> list[str]:
-    """Lowercased alphanumeric tokens of ``text``."""
+    """Lowercased alphanumeric tokens of ``text``.
+
+    ASCII text — the overwhelmingly common case on this hot path —
+    takes the translate+split fast lane; anything else falls back to
+    the regex, which defines the token contract. The two agree exactly
+    on ASCII input (maximal ``[a-z0-9]+`` runs of the lowercased
+    text), pinned by the differential tests.
+    """
+    if text.isascii():
+        return text.lower().translate(_ASCII_TO_SPACE).split()
     return _TOKEN_RE.findall(text.lower())
 
 
@@ -64,38 +85,54 @@ def shingle_similarity(text_a: str, text_b: str, k: int = DEFAULT_K) -> float:
 # The study only needs to distinguish "near-identical boilerplate"
 # (similarity ~1) from "distinct documents" (similarity ~0), for which
 # a small number of hash functions suffices.
+#
+# Sketching runs on whichever numeric backend repro.numerics selected:
+# vectorised numpy when available, a pure-Python mirror otherwise.
+# The two paths produce bit-identical sketches — the pure path applies
+# the same multiply/xor/rotate pipeline in masked 64-bit arithmetic —
+# so an archive built without numpy matches one built with it.
 
 NUM_MINHASHES = 16
 
-_MASK64 = (1 << 64) - 1
+MASK64 = (1 << 64) - 1
 #: Fixed odd multipliers/xors defining the hash family; arbitrary
 #: constants chosen once so sketches are stable across runs.
-_MULTIPLIERS = tuple(
-    (0x9E3779B97F4A7C15 * (2 * i + 1)) & _MASK64 for i in range(NUM_MINHASHES)
+PERMUTE_MULTIPLIERS = tuple(
+    (0x9E3779B97F4A7C15 * (2 * i + 1)) & MASK64 for i in range(NUM_MINHASHES)
 )
-_XORS = tuple(
-    (0xC2B2AE3D27D4EB4F * (i + 1)) & _MASK64 for i in range(NUM_MINHASHES)
+PERMUTE_XORS = tuple(
+    (0xC2B2AE3D27D4EB4F * (i + 1)) & MASK64 for i in range(NUM_MINHASHES)
 )
 
-# Shingle hashing is the hot loop of archive capture, so it is
-# vectorised: each token gets a stable crc32 (cached — page text draws
-# from a small vocabulary), and a k-shingle's hash mixes the k token
-# hashes with fixed odd multipliers, all in numpy.
+#: Per-offset multipliers mixing the k token hashes into one shingle
+#: hash (shared verbatim by the numpy and pure-Python paths); grown on
+#: demand for any k.
+_SHINGLE_MULTIPLIERS: list[int] = []
+
+
+def _shingle_multipliers(k: int) -> list[int]:
+    while len(_SHINGLE_MULTIPLIERS) < k:
+        offset = len(_SHINGLE_MULTIPLIERS)
+        _SHINGLE_MULTIPLIERS.append(
+            (0x9E3779B97F4A7C15 * (2 * offset + 3)) & MASK64
+        )
+    return _SHINGLE_MULTIPLIERS
+
+#: Token-hash memo bound. Page text draws from a small per-site
+#: vocabulary, so in practice the cache converges far below this; the
+#: bound exists so a long crawl over many worlds (or a long-lived
+#: worker process) cannot grow it without limit. crc32 is pure, so
+#: clearing the memo never changes a sketch.
+TOKEN_CACHE_MAX = 1 << 16
+
 _token_hash_cache: dict[str, int] = {}
 
-_SHINGLE_MIX = None  # initialised lazily with numpy
 
-
-def _numpy():
-    import numpy
-
-    return numpy
-
-
-def _token_hashes(tokens: list[str]):
-    import zlib
-
+def _token_hashes(tokens: list[str]) -> list[int]:
+    """Stable crc32 per token, memoised in a bounded cache."""
     cache = _token_hash_cache
+    if len(cache) >= TOKEN_CACHE_MAX:
+        cache.clear()
     values = []
     for token in tokens:
         value = cache.get(token)
@@ -106,39 +143,80 @@ def _token_hashes(tokens: list[str]):
     return values
 
 
-def _shingle_hash_vector(tokens: list[str], k: int):
-    """Vector of 64-bit hashes, one per k-shingle of ``tokens``."""
-    np = _numpy()
+def shingle_hash_values(tokens: list[str], k: int) -> list[int]:
+    """One mixed 64-bit hash per k-shingle of ``tokens`` (pure Python).
+
+    Reference implementation of the mixing pipeline; the numpy path
+    (:func:`shingle_hash_vector`) applies the identical operations
+    lane-wise and is proven bit-identical by the differential tests.
+    """
+    hashes = _token_hashes(tokens)
+    if len(tokens) < k:
+        k = len(tokens)
+    mults = _shingle_multipliers(k)
+    out = []
+    for start in range(len(tokens) - k + 1):
+        mixed = 0
+        for offset in range(k):
+            mixed = (mixed ^ (hashes[start + offset] * mults[offset])) & MASK64
+            mixed = ((mixed << 7) | (mixed >> 57)) & MASK64
+        out.append(mixed)
+    return out
+
+
+def shingle_hash_vector(tokens: list[str], k: int):
+    """Vector of 64-bit hashes, one per k-shingle of ``tokens`` (numpy).
+
+    Only callable on the numpy backend; stdlib callers use
+    :func:`shingle_hash_values`.
+    """
+    np = get_numpy()
     hashes = np.asarray(_token_hashes(tokens), dtype=np.uint64)
     if len(tokens) < k:
         k = len(tokens)
     mixed = np.zeros(len(tokens) - k + 1, dtype=np.uint64)
+    mults = _shingle_multipliers(k)
     with np.errstate(over="ignore"):
         for offset in range(k):
             lane = hashes[offset: len(hashes) - k + 1 + offset]
-            mixed ^= lane * np.uint64(
-                (0x9E3779B97F4A7C15 * (2 * offset + 3)) & _MASK64
-            )
+            mixed ^= lane * np.uint64(mults[offset])
             mixed = (mixed << np.uint64(7)) | (mixed >> np.uint64(57))
     return mixed
+
+
+def _minhash_py(tokens: list[str], k: int) -> tuple[int, ...]:
+    """Pure-Python MinHash over the unique shingle hashes."""
+    unique = set(shingle_hash_values(tokens, k))
+    return tuple(
+        min(((value ^ x) * m) & MASK64 for value in unique)
+        for m, x in zip(PERMUTE_MULTIPLIERS, PERMUTE_XORS)
+    )
+
+
+def _minhash_np(np, tokens: list[str], k: int) -> tuple[int, ...]:
+    """Vectorised MinHash over the unique shingle hashes."""
+    shingle_hashes = np.unique(shingle_hash_vector(tokens, k))
+    mults = np.asarray(PERMUTE_MULTIPLIERS, dtype=np.uint64)[:, None]
+    xors = np.asarray(PERMUTE_XORS, dtype=np.uint64)[:, None]
+    with np.errstate(over="ignore"):
+        permuted = (shingle_hashes[None, :] ^ xors) * mults
+    return tuple(int(value) for value in permuted.min(axis=1))
 
 
 def minhash_sketch(text: str, k: int = DEFAULT_K) -> tuple[int, ...]:
     """The MinHash sketch of ``text``'s k-shingle set.
 
     Empty documents sketch to all-zeros sentinel values so that two
-    empty bodies compare as identical.
+    empty bodies compare as identical. The sketch is a pure function
+    of the text — bit-identical on either numeric backend.
     """
-    np = _numpy()
     tokens = tokenize(text)
     if not tokens:
         return (0,) * NUM_MINHASHES
-    shingle_hashes = np.unique(_shingle_hash_vector(tokens, k))
-    mults = np.asarray(_MULTIPLIERS, dtype=np.uint64)[:, None]
-    xors = np.asarray(_XORS, dtype=np.uint64)[:, None]
-    with np.errstate(over="ignore"):
-        permuted = (shingle_hashes[None, :] ^ xors) * mults
-    return tuple(int(value) for value in permuted.min(axis=1))
+    np = get_numpy()
+    if np is None:
+        return _minhash_py(tokens, k)
+    return _minhash_np(np, tokens, k)
 
 
 def sketch_similarity(a: tuple[int, ...], b: tuple[int, ...]) -> float:
