@@ -62,7 +62,7 @@ def _copies_found(world, records, timeout_ms: float | None) -> int:
     return found
 
 
-def test_ablation_availability_timeout(benchmark, world, report):
+def test_ablation_availability_timeout(benchmark, world, report, paper_scale):
     records = report.dataset.records
 
     def sweep():
@@ -98,6 +98,8 @@ def test_ablation_availability_timeout(benchmark, world, report):
     # Monotonicity: longer budgets can only find more.
     counts = [found[t] for t in TIMEOUTS_MS]
     assert counts == sorted(counts)
+    if not paper_scale:
+        return
     # The paper's effect: a bounded lookup leaves usable copies on the
     # table.
     assert found[5000.0] < patient
@@ -170,7 +172,7 @@ def _copies_found_under_faults(world, records, rate, retry_policy):
     return found, counters
 
 
-def test_ablation_fault_rate_sweep(benchmark, world, report):
+def test_ablation_fault_rate_sweep(benchmark, world, report, paper_scale):
     records = report.dataset.records
 
     def sweep():
@@ -225,11 +227,13 @@ def test_ablation_fault_rate_sweep(benchmark, world, report):
     # faulted at rate r stays faulted at every higher rate.
     bare_counts = [cells[rate, "off"][0] for rate in FAULT_RATES]
     assert bare_counts == sorted(bare_counts, reverse=True)
-    assert bare_counts[-1] < bare_counts[0]
     # Per record, a no-retry success is untouched by adding retries,
     # so the retrying bot dominates at every rate.
     for rate in FAULT_RATES:
         assert cells[rate, "on"][0] >= cells[rate, "off"][0]
+    if not paper_scale:
+        return
+    assert bare_counts[-1] < bare_counts[0]
     # Even fault-free, retrying recovers latency-timeout casualties.
     assert cells[0.0, "on"][0] > cells[0.0, "off"][0]
     # The faulted retrying bot stays near its own clean ceiling: the

@@ -43,7 +43,6 @@ import os
 import re
 import time
 from bisect import bisect_right
-from pathlib import Path
 
 import pytest
 
@@ -59,7 +58,6 @@ from repro.textsim.shingles import (
     sketch_similarity,
 )
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Soft-404-style document pairs per round (bodies come from the
 #: session world's probed URLs, so sizes and vocabularies are real).
@@ -141,7 +139,7 @@ def _reference_outcome_counts(outcomes):
 
 
 def test_columnar_analysis_speedup(
-    benchmark, world, report, random_sample_dataset
+    benchmark, world, report, random_sample_dataset, bench_out
 ):
     np = columnar.get_numpy()
     if np is None:
@@ -334,7 +332,7 @@ def test_columnar_analysis_speedup(
         #: rounds (the same attribution a study run's stats carry).
         "phase_seconds_total": phase_seconds,
     }
-    out = REPO_ROOT / "BENCH_analysis.json"
+    out = bench_out("BENCH_analysis.json")
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"speedup ({fast} vs reference): {speedup:.2f}x -> {out.name}")
     assert speedup >= MIN_SPEEDUP, (

@@ -23,7 +23,9 @@ PAPER_PCT = {
 }
 
 
-def test_fig4_live_status(benchmark, world, report, random_sample_dataset):
+def test_fig4_live_status(
+    benchmark, world, report, random_sample_dataset, paper_scale
+):
     # Benchmark the probe machinery on a slice (the full-sample result
     # is already in the report fixture).
     sample = report.dataset.records[:500]
@@ -69,6 +71,8 @@ def test_fig4_live_status(benchmark, world, report, random_sample_dataset):
         )
     print(table.render())
 
+    if not paper_scale:
+        return
     # Headline shape claims.
     dead_share = (counts[Outcome.DNS_FAILURE] + counts[Outcome.HTTP_404]) / n
     assert dead_share > 0.6  # paper: "the vast majority (over 70%)"

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 import pytest
 
@@ -26,7 +25,6 @@ from repro.analysis.study import Study, StudyReport
 from repro.exec import StudyExecutor
 from repro.obs import Tracer, kind_counts
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Records per run: enough stage work that per-record costs dominate
 #: pool/world constants, small enough for two runs per session.
@@ -43,7 +41,7 @@ def base_study(world):
 
 
 @pytest.mark.parametrize("traced", (False, True), ids=("off", "on"))
-def test_obs_overhead(benchmark, base_study, traced):
+def test_obs_overhead(benchmark, base_study, traced, bench_out):
     records = base_study.records[:SLICE]
 
     def run() -> tuple[StudyReport, float, int]:
@@ -80,7 +78,7 @@ def test_obs_overhead(benchmark, base_study, traced):
             "overhead_frac": round(overhead, 4),
             "spans": spans,
         }
-        out = REPO_ROOT / "BENCH_obs.json"
+        out = bench_out("BENCH_obs.json")
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"overhead: {overhead:+.1%} -> {out.name}")
         print(

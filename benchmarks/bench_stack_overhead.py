@@ -33,13 +33,11 @@ from __future__ import annotations
 import gc
 import json
 import time
-from pathlib import Path
 
 from repro.analysis.study import Study
 from repro.backends import FetchBackend
 from repro.retry import RetryCounters, call_with_retry
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Distinct URLs fetched per round: enough that per-call costs
 #: dominate constants, small enough for many rounds per session.
@@ -83,7 +81,7 @@ class _HandwrittenMemo:
         )
 
 
-def test_stack_overhead(benchmark, world):
+def test_stack_overhead(benchmark, world, bench_out):
     study = Study.from_world(world)
     urls = list(dict.fromkeys(record.url for record in study.records))[:SLICE]
     fetcher, at = study.fetcher, study.at
@@ -145,7 +143,7 @@ def test_stack_overhead(benchmark, world):
         "stacked_seconds": round(stack_wall, 4),
         "overhead_frac": round(overhead, 4),
     }
-    out = REPO_ROOT / "BENCH_stack.json"
+    out = bench_out("BENCH_stack.json")
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"overhead: {overhead:+.1%} -> {out.name}")
     assert overhead <= MAX_OVERHEAD, (

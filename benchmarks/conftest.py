@@ -15,6 +15,7 @@ same report).
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -34,6 +35,38 @@ BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 #: CLIs: REPRO_FAULT_PLAN / REPRO_FAULT_RATE / REPRO_RETRIES …);
 #: defaults to the clean, retry-less stack the benchmarks report on.
 STACK_CONFIG = StackConfig.from_env()
+
+#: Where benches write their BENCH_*.json digests. Defaults to the
+#: repo root (the committed copies EXPERIMENTS.md quotes); the smoke
+#: test points it at a tmp dir so toy-scale runs never clobber them.
+BENCH_OUT = Path(
+    os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent.parent)
+)
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    """Whether the world is big enough for paper-figure assertions.
+
+    The ComparisonTable bands and headline shape claims reproduce the
+    paper's percentages, which only stabilize near the full benchmark
+    scale. The toy-scale smoke run (tests/test_bench_smoke.py) still
+    executes every benchmark end-to-end — builds, measures, prints,
+    writes digests — but skips the figure comparisons, which would
+    hold a few-hundred-link world to paper-scale percentages.
+    """
+    return BENCH_LINKS >= 4000
+
+
+@pytest.fixture(scope="session")
+def bench_out():
+    """Resolver for BENCH_*.json output paths (honors REPRO_BENCH_OUT)."""
+
+    def resolve(name: str) -> Path:
+        BENCH_OUT.mkdir(parents=True, exist_ok=True)
+        return BENCH_OUT / name
+
+    return resolve
 
 
 @pytest.fixture(scope="session")

@@ -10,6 +10,11 @@ Usage::
     --mode M          serial | thread (default serial; both answer
                       identically — try it)
     --spike-rate R    inject index latency spikes at per-key rate R
+    --shards N        domain shards; >1 serves through the cluster tier
+    --replicas R      replicas per shard; >1 serves through the cluster
+    --policy P        round_robin | least_outstanding | power_of_two
+    --crash-rate R    per-replica crash probability (cluster chaos)
+    --pattern P       poisson | flash | diurnal arrival process
     --trace PATH      append the service span tree as JSONL
                       (service → request → index-lookup); feed it to
                       scripts/trace_report.py
@@ -17,9 +22,11 @@ Usage::
 Builds a world, runs the batch study, freezes it into a
 :class:`~repro.service.LinkStatusIndex`, then replays seeded Zipf
 traffic at each offered load and prints the per-level digest: virtual
-throughput, p50/p99 latency, cache hit rate, shed rate. Every number
-except wall time is deterministic in (world seed, workload seed,
-config) — run it twice and diff.
+throughput, p50/p99 latency, cache hit rate, shed rate. With cluster
+flags, the same traffic is served by N shards × R replicas — run both
+and diff the response surface: identical when chaos is off. Every
+number except wall time is deterministic in (world seed, workload
+seed, config) — run it twice and diff.
 """
 
 import argparse
@@ -29,8 +36,11 @@ from pathlib import Path
 
 from repro.analysis.study import Study
 from repro.dataset.worldgen import WorldConfig, generate_world
+from repro.faults import FaultSpec
 from repro.obs import Tracer
 from repro.service import (
+    ClusterConfig,
+    ClusterService,
     LinkStatusIndex,
     LinkStatusService,
     ServerConfig,
@@ -51,6 +61,17 @@ def parse_args(argv):
     parser.add_argument("--levels", default="0.5,1,2,4")
     parser.add_argument("--mode", choices=("serial", "thread"), default="serial")
     parser.add_argument("--spike-rate", type=float, default=0.0)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument(
+        "--policy",
+        choices=("round_robin", "least_outstanding", "power_of_two"),
+        default="round_robin",
+    )
+    parser.add_argument("--crash-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--pattern", choices=("poisson", "flash", "diurnal"), default="poisson"
+    )
     parser.add_argument("--trace", type=Path, default=None)
     return parser.parse_args(argv)
 
@@ -74,13 +95,21 @@ def main(argv=None) -> int:
     )
 
     config = ServerConfig(rate_rps=args.rps)
-    faults = (
-        ServiceFaultPlan.spikes(args.spike_rate, seed=args.seed)
-        if args.spike_rate
-        else None
-    )
+    faults = None
+    if args.spike_rate or args.crash_rate:
+        faults = ServiceFaultPlan(
+            seed=args.seed,
+            index_spike=FaultSpec(rate=args.spike_rate, permanent=True),
+            replica_crash=FaultSpec(rate=args.crash_rate, permanent=True),
+        )
+    clustered = args.shards > 1 or args.replicas > 1
     tracer = Tracer() if args.trace else None
     urls = [entry.url for entry in index.entries]
+    if clustered:
+        print(
+            f"cluster: {args.shards} shards x {args.replicas} replicas, "
+            f"policy {args.policy}"
+        )
     for level in levels:
         workload = generate_workload(
             urls,
@@ -90,17 +119,44 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 aggregate_fraction=0.02,
                 unknown_fraction=0.01,
+                pattern=args.pattern,
             ),
         )
-        service = LinkStatusService(
-            index, config, tracer=tracer, faults=faults
-        )
+        if clustered:
+            service = ClusterService(
+                index,
+                config,
+                ClusterConfig(
+                    n_shards=args.shards,
+                    replicas_per_shard=args.replicas,
+                    policy=args.policy,
+                ),
+                tracer=tracer,
+                faults=faults,
+            )
+        else:
+            service = LinkStatusService(
+                index, config, tracer=tracer, faults=faults
+            )
         wall_start = time.perf_counter()
         result = service.serve(workload, mode=args.mode)
         wall = time.perf_counter() - wall_start
         print()
         print(f"== offered {args.rps * level:g} rps ({level:g}x capacity) ==")
         print(result.summary())
+        if clustered:
+            print(
+                f"redispatches {result.redispatches}; "
+                f"gave up (503) {len(result.unavailable_ids)}; "
+                f"replica fault events {len(result.fault_events)}"
+            )
+            digest = result.replica_digest()
+            for replica_id in result.replica_ids:
+                lookups = digest[replica_id].get("service.index.lookups", 0)
+                ok = digest[replica_id].get("service.requests.ok", 0)
+                print(
+                    f"  {replica_id}: {int(ok)} ok, {int(lookups)} lookups"
+                )
         print(f"replay wall: {wall:.3f}s")
 
     if tracer is not None:

@@ -6,8 +6,10 @@ Subcommands:
     python -m repro calibrate [--links N] [--seed S]  paper-vs-measured table
     python -m repro medic [--links N] [--seed S]      WaybackMedic rescue run
     python -m repro serve [--requests M] [--rps R]    replay traffic at the service
+                    [--shards N] [--replicas R]       ... through the sharded cluster
+                    [--policy P] [--crash-rate F]     ... under replica chaos
     python -m repro query (--url U | --domain D |     one query against the index
-                           --quantile M:Q | --bucket-counts)
+                           --quantile M:Q | --bucket-counts) [--shards N]
 
 Also installed as the ``repro`` console script.
 """
@@ -146,12 +148,15 @@ def _build_index(args):
 
 def _cmd_serve(args) -> int:
     from .service import (
+        ClusterConfig,
+        ClusterService,
         LinkStatusService,
         ServerConfig,
         ServiceFaultPlan,
         WorkloadConfig,
         generate_workload,
     )
+    from .faults import FaultSpec
 
     index = _build_index(args)
     config = ServerConfig(rate_rps=args.rps)
@@ -163,17 +168,40 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             aggregate_fraction=0.02,
             unknown_fraction=0.01,
+            pattern=args.pattern,
         ),
     )
-    faults = (
-        ServiceFaultPlan.spikes(args.spike_rate, seed=args.seed)
-        if args.spike_rate
-        else None
-    )
-    service = LinkStatusService(index, config, faults=faults)
+    faults = None
+    if args.spike_rate or args.crash_rate:
+        faults = ServiceFaultPlan(
+            seed=args.seed,
+            index_spike=FaultSpec(rate=args.spike_rate, permanent=True),
+            replica_crash=FaultSpec(rate=args.crash_rate, permanent=True),
+        )
+    clustered = args.shards > 1 or args.replicas > 1
+    if clustered:
+        service = ClusterService(
+            index,
+            config,
+            ClusterConfig(
+                n_shards=args.shards,
+                replicas_per_shard=args.replicas,
+                policy=args.policy,
+            ),
+            faults=faults,
+        )
+    else:
+        service = LinkStatusService(index, config, faults=faults)
     result = service.serve(workload, mode=args.mode)
     print()
     print(result.summary())
+    if clustered:
+        print(
+            f"cluster: {args.shards} shards x {args.replicas} replicas, "
+            f"policy {args.policy}; {result.redispatches} redispatches, "
+            f"{len(result.unavailable_ids)} gave up (503), "
+            f"{len(result.fault_events)} replica fault events"
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.as_dict(), handle, indent=2)
@@ -183,6 +211,7 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    from .service.router import rendezvous_owner, routing_key
     from .service.server import answer
 
     index = _build_index(args)
@@ -195,18 +224,22 @@ def _cmd_query(args) -> int:
     else:
         kind, target = "bucket_counts", ""
     status, body = answer(index, kind, target)
-    print(
-        json.dumps(
-            {
-                "status": status,
-                "index_version": index.version,
-                "kind": kind,
-                "target": target,
-                "body": body,
-            },
-            indent=2,
-        )
-    )
+    payload = {
+        "status": status,
+        "index_version": index.version,
+        "kind": kind,
+        "target": target,
+        "body": body,
+    }
+    if args.shards > 1:
+        key = routing_key(kind, target)
+        shard_ids = tuple(f"shard-{i}" for i in range(args.shards))
+        payload["routing"] = {
+            "key": key,
+            "shard": rendezvous_owner(key, shard_ids),
+            "n_shards": args.shards,
+        }
+    print(json.dumps(payload, indent=2))
     return 0 if status == 200 else 1
 
 
@@ -263,6 +296,36 @@ def main(argv: list[str] | None = None) -> int:
                 help="inject index latency spikes at this per-key rate",
             )
             cmd.add_argument(
+                "--shards",
+                type=int,
+                default=1,
+                help="domain shards (>1 serves through the cluster tier)",
+            )
+            cmd.add_argument(
+                "--replicas",
+                type=int,
+                default=1,
+                help="replicas per shard (>1 serves through the cluster tier)",
+            )
+            cmd.add_argument(
+                "--policy",
+                choices=("round_robin", "least_outstanding", "power_of_two"),
+                default="round_robin",
+                help="cluster replica-selection policy",
+            )
+            cmd.add_argument(
+                "--crash-rate",
+                type=float,
+                default=0.0,
+                help="per-replica crash probability (cluster chaos)",
+            )
+            cmd.add_argument(
+                "--pattern",
+                choices=("poisson", "flash", "diurnal"),
+                default="poisson",
+                help="arrival pattern for the synthetic workload",
+            )
+            cmd.add_argument(
                 "--json",
                 metavar="PATH",
                 default=None,
@@ -281,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
                 "--bucket-counts",
                 action="store_true",
                 help="Figure-4 bucket counts",
+            )
+            cmd.add_argument(
+                "--shards",
+                type=int,
+                default=1,
+                help="also report which of N shards owns this query",
             )
         cmd.set_defaults(handler=handler)
     args = parser.parse_args(argv)

@@ -174,6 +174,25 @@ class MetricsRegistry:
         for name, histogram in other._histograms.items():
             self.histogram(name, histogram.bounds).merge(histogram)
 
+    def merge_prefixed(self, other: "MetricsRegistry", prefix: str) -> None:
+        """Fold another registry in under a name prefix, exactly.
+
+        Same fold semantics as :meth:`merge` — counters and histograms
+        add, gauges take the incoming value — but every incoming
+        instrument lands at ``prefix + name``. This is how the cluster
+        tier publishes per-replica metric families
+        (``service.replica.<rid>.…``) next to the fleet-wide rollup it
+        gets from a plain :meth:`merge` of the same registries: the
+        rollup totals are then, by construction, the exact sums of the
+        per-replica families.
+        """
+        for name, counter in other._counters.items():
+            self.counter(prefix + name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(prefix + name).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(prefix + name, histogram.bounds).merge(histogram)
+
     def snapshot(self) -> dict:
         """Plain-data rendering of every instrument (JSON-ready)."""
         return {

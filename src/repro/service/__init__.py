@@ -11,7 +11,8 @@ The stack, front to back:
 
 - :class:`~repro.service.workload.WorkloadConfig` /
   :func:`~repro.service.workload.generate_workload` — seeded
-  Zipf-over-URLs traffic with Poisson arrivals;
+  Zipf-over-URLs traffic with Poisson / flash-crowd / diurnal
+  arrivals and optional multi-tenant labeling;
 - :class:`~repro.service.admission.AdmissionController` — token-bucket
   rate limiting with a bounded FIFO queue and deterministic shedding;
 - :class:`~repro.service.batcher.MicroBatcher` — micro-batching with
@@ -23,25 +24,53 @@ The stack, front to back:
 - :class:`~repro.service.server.LinkStatusService` — the event loop
   tying them together, in serial or thread-pool mode, traced via
   :mod:`repro.obs` and chaos-testable via
-  :class:`~repro.service.faults.ServiceFaultPlan`.
+  :class:`~repro.service.faults.ServiceFaultPlan`;
+- :class:`~repro.service.cluster.ClusterService` — the replicated,
+  sharded tier: the index rendezvous-partitioned by registrable
+  domain into N shards × R replicas behind a deterministic router
+  (:mod:`repro.service.router`), byte-identical to the single node
+  when faults are off and degrading only in latency and shed rate
+  under replica-level chaos.
 """
 
 from .admission import AdmissionController, TokenBucket
 from .batcher import Batch, BatchItem, MicroBatcher
 from .cache import ResultCache
-from .faults import ServiceFaultPlan, ServiceFaults
+from .cluster import ClusterConfig, ClusterResult, ClusterService, ShardIndex
+from .faults import ReplicaFaultEvent, ServiceFaultPlan, ServiceFaults
 from .index import LinkStatusEntry, LinkStatusIndex
-from .server import LinkStatusService, Response, ServerConfig, ServiceResult
-from .workload import Request, WorkloadConfig, generate_workload
+from .router import (
+    POLICIES,
+    ReplicaPicker,
+    TenantQuotas,
+    rendezvous_owner,
+    rendezvous_score,
+    routing_key,
+)
+from .server import (
+    LinkStatusService,
+    Response,
+    ServerConfig,
+    ServiceResult,
+    key_latency_ms,
+)
+from .workload import PATTERNS, Request, WorkloadConfig, generate_workload
 
 __all__ = [
     "AdmissionController",
     "Batch",
     "BatchItem",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterService",
     "LinkStatusEntry",
     "LinkStatusIndex",
     "LinkStatusService",
     "MicroBatcher",
+    "PATTERNS",
+    "POLICIES",
+    "ReplicaFaultEvent",
+    "ReplicaPicker",
     "Request",
     "Response",
     "ResultCache",
@@ -49,7 +78,13 @@ __all__ = [
     "ServiceFaultPlan",
     "ServiceFaults",
     "ServiceResult",
+    "ShardIndex",
+    "TenantQuotas",
     "TokenBucket",
     "WorkloadConfig",
     "generate_workload",
+    "key_latency_ms",
+    "rendezvous_owner",
+    "rendezvous_score",
+    "routing_key",
 ]

@@ -131,6 +131,22 @@ class MicroBatcher:
             return None
         return self._flush(flush_ms=self.deadline_ms)
 
+    def drain(self) -> tuple[BatchItem, ...]:
+        """Abandon the open batch, returning its items un-executed.
+
+        The cluster tier calls this when a replica crashes or
+        partitions: whatever was waiting in its batcher is lost there
+        and must be re-dispatched elsewhere. Counts under
+        ``service.batch.drained``; deliberately *not* a flush — no
+        batch is emitted and no size histogram is observed.
+        """
+        items = tuple(self._pending)
+        self._pending.clear()
+        self._opened_ms = None
+        if items:
+            self.metrics.counter("service.batch.drained").inc(len(items))
+        return items
+
     def _flush(self, flush_ms: float) -> Batch:
         batch = Batch(
             items=tuple(self._pending),

@@ -72,3 +72,15 @@ class ResultCache(CacheLayer):
     def put(self, key: str, body: Any, now_ms: float) -> None:
         """Store ``body`` under ``key`` as of ``now_ms``."""
         self.store(key, body, now_ms)
+
+    def rebind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Point future counters at a different registry.
+
+        The cluster tier folds each replica's registry into the
+        fleet-wide one at the end of a serve and hands the replica a
+        fresh registry; the cache (and its CacheLayer internals) must
+        follow, or a later serve would count into an already-folded
+        registry and the totals would drift.
+        """
+        self.metrics = metrics
+        self._metrics = metrics

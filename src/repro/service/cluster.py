@@ -1,0 +1,817 @@
+"""The replicated, sharded service tier: N shards × R replicas.
+
+:class:`ClusterService` scales :class:`~repro.service.server.
+LinkStatusService` from one process-equivalent to a simulated fleet.
+The index is partitioned **by registrable domain** with rendezvous
+hashing (:mod:`repro.service.router`) into ``n_shards`` partitions;
+each shard runs ``replicas_per_shard`` replicas, and every replica is
+a full serving stack of its own — micro-batcher, LRU+TTL result
+cache, per-replica metrics registry — reading an immutable
+:class:`ShardIndex` view of its partition.
+
+The whole fleet runs on one discrete-event loop over the service's
+virtual millisecond clock, which is what makes replica-level chaos
+*exactly* reproducible: admission releases, batch deadlines, replica
+crash/recovery transitions, and re-dispatches of in-flight requests
+all interleave at computed instants under a fixed tie-break order
+(fault transitions, then batch deadlines in replica order, then
+re-dispatches, then admission releases).
+
+The contract the differential tests pin:
+
+- **Faults off** — the cluster's answer surface
+  (:meth:`~repro.service.server.Response.to_wire`: status, body,
+  index version, per request) and its shed set are byte-identical to
+  the single-node service for *any* shard/replica count, and a
+  1-shard × 1-replica cluster reproduces the single-node run
+  *including timing*.
+- **Faults on** — replica crashes, partitions, and slow replicas
+  degrade latency and shed rate only: every request both runs serve
+  gets the same bytes, and fault runs never invent answers — they
+  only re-dispatch (latency) or give up after
+  ``max_dispatch_attempts`` (a 503 in the shed set).
+
+Admission is global (one token bucket + bounded queue at the router,
+identical to the single-node front door — that is what keeps the
+faults-off shed set equal), with optional per-tenant quota buckets in
+front of it. Per-replica accounting folds into the cluster registry
+twice: once raw (the fleet rollup) and once under
+``service.replica.<rid>.`` (the per-replica families), so the rollup
+is exactly the sum of the families.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from .admission import AdmissionController, TokenBucket
+from .batcher import Batch, MicroBatcher
+from .cache import ResultCache
+from .faults import ServiceFaultPlan, ServiceFaults
+from .index import LinkStatusEntry, LinkStatusIndex
+from .router import POLICIES, ReplicaPicker, TenantQuotas, rendezvous_owner, routing_key
+from .server import (
+    LATENCY_BOUNDS_MS,
+    Response,
+    ServerConfig,
+    ServiceResult,
+    answer,
+    key_latency_ms,
+)
+from .workload import Request
+
+__all__ = ["ClusterConfig", "ClusterResult", "ClusterService", "ShardIndex"]
+
+
+class ShardIndex:
+    """One shard's immutable view of the parent snapshot.
+
+    Point queries (URL, domain) answer from the partition only; the
+    aggregate endpoints delegate to the parent's precomputed tables —
+    the simulated analogue of shipping every shard the (tiny) offline
+    aggregates next to its (large) partition. The shard serves under
+    the **parent's** version string: answers are logically answers of
+    the whole snapshot, and per-key virtual latency hashes stay
+    identical to the single-node service's.
+    """
+
+    __slots__ = ("shard_id", "_parent", "_by_url", "_by_domain", "_entries")
+
+    def __init__(
+        self,
+        parent: LinkStatusIndex,
+        shard_id: str,
+        entries: tuple[LinkStatusEntry, ...],
+    ) -> None:
+        self.shard_id = shard_id
+        self._parent = parent
+        self._entries = entries
+        by_url: dict[str, LinkStatusEntry] = {}
+        by_domain: dict[str, tuple[LinkStatusEntry, ...]] = {}
+        for entry in entries:
+            by_url.setdefault(entry.url, entry)
+            by_domain[entry.domain] = by_domain.get(entry.domain, ()) + (entry,)
+        self._by_url = by_url
+        self._by_domain = by_domain
+
+    @property
+    def version(self) -> str:
+        return self._parent.version
+
+    @property
+    def entries(self) -> tuple[LinkStatusEntry, ...]:
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, url: str) -> LinkStatusEntry | None:
+        return self._by_url.get(url)
+
+    def by_domain(self, domain: str) -> tuple[LinkStatusEntry, ...]:
+        return self._by_domain.get(domain, ())
+
+    def bucket_counts(self) -> dict[str, int]:
+        return self._parent.bucket_counts()
+
+    def metrics(self) -> tuple[str, ...]:
+        return self._parent.metrics()
+
+    def distribution(self, metric: str):
+        return self._parent.distribution(metric)
+
+    def quantile(self, metric: str, q: float) -> float:
+        return self._parent.quantile(metric, q)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardIndex({self.shard_id}, {len(self._entries)} entries, "
+            f"version={self.version})"
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet topology and routing policy."""
+
+    #: Domain partitions (rendezvous-hashed).
+    n_shards: int = 2
+    #: Serving replicas per shard.
+    replicas_per_shard: int = 2
+    #: Replica-selection policy (see :data:`repro.service.router.POLICIES`).
+    policy: str = "round_robin"
+    #: Seed for the power-of-two candidate draws.
+    router_seed: int = 0
+    #: Dispatch attempts per request before it sheds with a 503.
+    max_dispatch_attempts: int = 4
+    #: Extra virtual ms an index lookup pays per request already
+    #: outstanding on its replica at flush — the load signal that makes
+    #: replica scaling visible in p99. 0 (the default) preserves exact
+    #: faults-off latency equivalence with the single-node service.
+    congestion_ms_per_inflight: float = 0.0
+    #: Per-tenant admission quotas: tenant -> (rate_rps, burst).
+    quotas: dict[str, tuple[float, float]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.replicas_per_shard < 1:
+            raise ValueError("replicas_per_shard must be >= 1")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown router policy {self.policy!r}; known: {POLICIES}"
+            )
+        if self.max_dispatch_attempts < 1:
+            raise ValueError("max_dispatch_attempts must be >= 1")
+        if self.congestion_ms_per_inflight < 0:
+            raise ValueError("congestion_ms_per_inflight must be >= 0")
+
+
+@dataclass
+class ClusterResult(ServiceResult):
+    """A :class:`ServiceResult` plus the fleet's own accounting."""
+
+    n_shards: int = 1
+    replicas_per_shard: int = 1
+    policy: str = "round_robin"
+    fault_events: tuple = ()
+    replica_ids: tuple[str, ...] = ()
+
+    @property
+    def redispatches(self) -> int:
+        return self.metrics.counter("service.cluster.redispatches").int_value
+
+    @property
+    def quota_shed_ids(self) -> tuple[int, ...]:
+        """Request ids shed by per-tenant quotas (a subset of 429s)."""
+        return tuple(
+            r.request_id
+            for r in self.responses
+            if r.status == 429 and r.source == "quota"
+        )
+
+    @property
+    def unavailable_ids(self) -> tuple[int, ...]:
+        """Request ids shed 503 after exhausting dispatch attempts."""
+        return tuple(
+            r.request_id for r in self.responses if r.status == 503
+        )
+
+    def replica_digest(self) -> dict[str, dict[str, float]]:
+        """Per-replica counter families, read back from the registry."""
+        digest: dict[str, dict[str, float]] = {}
+        for replica_id in self.replica_ids:
+            prefix = f"service.replica.{replica_id}."
+            counters = self.metrics.counters(prefix)
+            digest[replica_id] = {
+                name[len(prefix):]: value for name, value in counters.items()
+            }
+        return digest
+
+    def as_dict(self) -> dict:
+        digest = super().as_dict()
+        digest.update(
+            n_shards=self.n_shards,
+            replicas_per_shard=self.replicas_per_shard,
+            policy=self.policy,
+            redispatches=self.redispatches,
+            unavailable=len(self.unavailable_ids),
+            quota_shed=len(self.quota_shed_ids),
+            fault_events=len(self.fault_events),
+        )
+        return digest
+
+
+class _Replica:
+    """One replica's private serving state (internal to the cluster)."""
+
+    __slots__ = (
+        "replica_id",
+        "shard_id",
+        "index",
+        "config",
+        "metrics",
+        "batcher",
+        "cache",
+        "_completions",
+    )
+
+    def __init__(
+        self,
+        replica_id: str,
+        shard_id: str,
+        index: ShardIndex,
+        config: ServerConfig,
+    ) -> None:
+        self.replica_id = replica_id
+        self.shard_id = shard_id
+        self.index = index
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.batcher = MicroBatcher(
+            max_batch=config.max_batch,
+            max_wait_ms=config.max_wait_ms,
+            metrics=self.metrics,
+        )
+        self.cache = ResultCache(
+            capacity=config.cache_capacity,
+            ttl_ms=config.cache_ttl_ms,
+            metrics=self.metrics,
+        )
+        self._completions: list[float] = []
+
+    def outstanding(self, now_ms: float) -> int:
+        """Dispatched-but-incomplete requests at ``now_ms``."""
+        heap = self._completions
+        while heap and heap[0] <= now_ms:
+            heapq.heappop(heap)
+        return self.batcher.pending + len(heap)
+
+    def note_completion(self, completion_ms: float, riders: int) -> None:
+        for _ in range(riders):
+            heapq.heappush(self._completions, completion_ms)
+
+    def wipe_cache(self) -> None:
+        """Cold-start the cache (the crash lost the process)."""
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl_ms=self.config.cache_ttl_ms,
+            metrics=self.metrics,
+        )
+
+    def rebind_metrics(self) -> None:
+        """Swap in a fresh registry after a fold (once per serve)."""
+        self.metrics = MetricsRegistry()
+        self.batcher.metrics = self.metrics
+        self.cache.rebind_metrics(self.metrics)
+
+
+#: Event-type priorities for same-instant ties in the cluster loop.
+_P_TRANSITION, _P_DEADLINE, _P_REDISPATCH, _P_RELEASE = 0, 1, 2, 3
+
+
+class ClusterService:
+    """A simulated fleet serving one immutable index snapshot."""
+
+    def __init__(
+        self,
+        index: LinkStatusIndex,
+        config: ServerConfig = ServerConfig(),
+        cluster: ClusterConfig = ClusterConfig(),
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        faults: ServiceFaultPlan | None = None,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.cluster = cluster
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._faults = (
+            ServiceFaults(faults)
+            if faults is not None and faults.active
+            else None
+        )
+        self._picker = ReplicaPicker(cluster.policy, seed=cluster.router_seed)
+        self._quotas = (
+            TenantQuotas(dict(cluster.quotas)) if cluster.quotas else None
+        )
+        self.admission = AdmissionController(
+            TokenBucket(rate_per_s=config.rate_rps, burst=float(config.burst)),
+            queue_limit=config.queue_limit,
+            metrics=self.metrics,
+        )
+
+        # -- partition the index ---------------------------------------------------
+        self.shard_ids = tuple(
+            f"shard-{i}" for i in range(cluster.n_shards)
+        )
+        self._shard_of: dict[str, str] = {}
+        partitions: dict[str, list[LinkStatusEntry]] = {
+            shard_id: [] for shard_id in self.shard_ids
+        }
+        for entry in index.entries:
+            shard_id = self._shard_of.get(entry.domain)
+            if shard_id is None:
+                shard_id = rendezvous_owner(entry.domain, self.shard_ids)
+                self._shard_of[entry.domain] = shard_id
+            partitions[shard_id].append(entry)
+        self.shards: dict[str, ShardIndex] = {
+            shard_id: ShardIndex(index, shard_id, tuple(entries))
+            for shard_id, entries in partitions.items()
+        }
+
+        # -- spin up the replicas --------------------------------------------------
+        self.replicas: dict[str, list[_Replica]] = {}
+        for si, shard_id in enumerate(self.shard_ids):
+            self.replicas[shard_id] = [
+                _Replica(
+                    f"s{si}r{ri}", shard_id, self.shards[shard_id], config
+                )
+                for ri in range(cluster.replicas_per_shard)
+            ]
+        self._all_replicas: tuple[_Replica, ...] = tuple(
+            replica
+            for shard_id in self.shard_ids
+            for replica in self.replicas[shard_id]
+        )
+        self.metrics.gauge("service.cluster.shards").set(cluster.n_shards)
+        self.metrics.gauge("service.cluster.replicas").set(
+            len(self._all_replicas)
+        )
+
+        # -- replica fault schedule ------------------------------------------------
+        replica_ids = tuple(r.replica_id for r in self._all_replicas)
+        self.fault_events = (
+            self._faults.transitions(replica_ids) if self._faults else ()
+        )
+
+    # -- routing -----------------------------------------------------------------
+
+    def shard_for(self, kind: str, target: str) -> str:
+        """The shard that owns one query (memoized rendezvous hash)."""
+        key = routing_key(kind, target)
+        shard_id = self._shard_of.get(key)
+        if shard_id is None:
+            shard_id = rendezvous_owner(key, self.shard_ids)
+            self._shard_of[key] = shard_id
+        return shard_id
+
+    def _available_replicas(
+        self, shard_id: str, now_ms: float
+    ) -> list[_Replica]:
+        replicas = self.replicas[shard_id]
+        if self._faults is None:
+            return replicas
+        return [
+            replica
+            for replica in replicas
+            if self._faults.available(replica.replica_id, now_ms)
+        ]
+
+    # -- the serve loop ----------------------------------------------------------
+
+    def serve(
+        self, requests, mode: str = "serial", threads: int | None = None
+    ) -> ClusterResult:
+        """Replay a workload against the fleet; return every response.
+
+        Same surface as the single-node ``serve``: ``mode`` is
+        ``"serial"`` or ``"thread"`` (identical responses either way),
+        responses come back in request-id order.
+        """
+        if mode not in ("serial", "thread"):
+            raise ValueError(f"unknown serve mode {mode!r}")
+        pool = None
+        if mode == "thread":
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(
+                max_workers=threads if threads else self.config.threads
+            )
+        responses: list[Response] = []
+        #: re-dispatch queue: (at_ms, seq, attempt, request)
+        self._redispatch: list[tuple[float, int, int, Request]] = []
+        self._redispatch_seq = 0
+        self._pending_transitions = list(self.fault_events)
+        ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+        service_cm = (
+            self.tracer.span(
+                "service",
+                kind="service",
+                index_version=self.index.version,
+                mode=mode,
+                offered=len(ordered),
+                shards=self.cluster.n_shards,
+                replicas=self.cluster.replicas_per_shard,
+                policy=self.cluster.policy,
+            )
+            if self.tracer is not None
+            else None
+        )
+        if service_cm is not None:
+            service_cm.__enter__()
+        try:
+            for request in ordered:
+                self._advance(request.arrival_ms, responses, pool)
+                if self._quotas is not None and not self._quotas.admit(
+                    request.tenant, request.arrival_ms
+                ):
+                    self._shed(request, responses, status=429, source="quota")
+                    self.metrics.counter("service.cluster.quota_shed").inc()
+                    continue
+                verdict = self.admission.offer(request, request.arrival_ms)
+                if verdict == "admit":
+                    self._dispatch(
+                        request, request.arrival_ms, responses, pool
+                    )
+                elif verdict == "shed":
+                    self._shed(request, responses, status=429, source="shed")
+            self._advance(None, responses, pool)
+        finally:
+            if service_cm is not None:
+                service_cm.__exit__(None, None, None)
+            if pool is not None:
+                pool.shutdown(wait=True)
+        responses.sort(key=lambda r: r.request_id)
+        self._fold_replica_metrics()
+        return ClusterResult(
+            responses=responses,
+            metrics=self.metrics,
+            index_version=self.index.version,
+            mode=mode,
+            n_shards=self.cluster.n_shards,
+            replicas_per_shard=self.cluster.replicas_per_shard,
+            policy=self.cluster.policy,
+            fault_events=self.fault_events,
+            replica_ids=tuple(r.replica_id for r in self._all_replicas),
+        )
+
+    def _fold_replica_metrics(self) -> None:
+        """Publish per-replica families plus the exact fleet rollup."""
+        for replica in self._all_replicas:
+            self.metrics.merge(replica.metrics)
+            self.metrics.merge_prefixed(
+                replica.metrics, f"service.replica.{replica.replica_id}."
+            )
+            replica.rebind_metrics()  # each registry folds exactly once
+
+    # -- the event loop ----------------------------------------------------------
+
+    def _next_event(self) -> tuple[float, int, int] | None:
+        """The earliest due event as ``(time, priority, index)``.
+
+        ``index`` identifies the event within its type: the replica's
+        position for deadlines, zero otherwise. The fixed priority
+        order — transitions, deadlines, re-dispatches, releases —
+        resolves same-instant ties deterministically (and keeps the
+        single-node rule that a closing batch beats a token release).
+        """
+        best: tuple[float, int, int] | None = None
+        if self._pending_transitions:
+            best = (self._pending_transitions[0].at_ms, _P_TRANSITION, 0)
+        for position, replica in enumerate(self._all_replicas):
+            deadline = replica.batcher.deadline_ms
+            if deadline is not None:
+                candidate = (deadline, _P_DEADLINE, position)
+                if best is None or candidate < best:
+                    best = candidate
+        if self._redispatch:
+            candidate = (self._redispatch[0][0], _P_REDISPATCH, 0)
+            if best is None or candidate < best:
+                best = candidate
+        release = self.admission.next_release_ms()
+        if release is not None:
+            candidate = (release, _P_RELEASE, 0)
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    def _advance(
+        self, now_ms: float | None, responses: list[Response], pool
+    ) -> None:
+        """Run every due event in (time, priority) order up to
+        ``now_ms`` (``None`` = run them all)."""
+        while True:
+            event = self._next_event()
+            if event is None:
+                return
+            at_ms, priority, position = event
+            if now_ms is not None and at_ms > now_ms:
+                return
+            if priority == _P_TRANSITION:
+                self._apply_transition(responses, pool)
+            elif priority == _P_DEADLINE:
+                replica = self._all_replicas[position]
+                batch = replica.batcher.flush_due(at_ms)
+                if batch is not None:
+                    self._execute(replica, batch, responses, pool)
+            elif priority == _P_REDISPATCH:
+                at, _, attempt, request = heapq.heappop(self._redispatch)
+                self._dispatch(
+                    request, at, responses, pool, attempt=attempt
+                )
+            else:
+                request, ready_ms = self.admission.release_one()
+                self._dispatch(request, ready_ms, responses, pool)
+
+    def _apply_transition(self, responses: list[Response], pool) -> None:
+        """One replica state change: crash/partition onsets drain the
+        replica's open batch back to the router; crashes also cold the
+        cache. Recovery instants need no action — availability is a
+        pure function of time."""
+        event = self._pending_transitions.pop(0)
+        self.metrics.counter(
+            f"service.cluster.transitions.{event.kind}"
+        ).inc()
+        if event.kind not in ("crash", "partition"):
+            return
+        replica = next(
+            r for r in self._all_replicas if r.replica_id == event.replica_id
+        )
+        if event.kind == "crash":
+            replica.wipe_cache()
+        for item in replica.batcher.drain():
+            self._requeue(item.request, event.at_ms)
+
+    def _requeue(self, request: Request, at_ms: float, attempt: int = 1) -> None:
+        self._redispatch_seq += 1
+        heapq.heappush(
+            self._redispatch,
+            (at_ms, self._redispatch_seq, attempt, request),
+        )
+        self.metrics.counter("service.cluster.redispatches").inc()
+
+    def _shed(
+        self,
+        request: Request,
+        responses: list[Response],
+        status: int,
+        source: str,
+        at_ms: float | None = None,
+    ) -> None:
+        self.metrics.counter("service.requests.shed").inc()
+        if status == 503:
+            self.metrics.counter("service.cluster.unavailable_shed").inc()
+        if self.tracer is not None:
+            self.tracer.record_span(
+                "request",
+                kind="service.request",
+                duration_s=0.0,
+                rid=request.request_id,
+                key=request.key,
+                status=status,
+                shed=True,
+            )
+        completion = at_ms if at_ms is not None else request.arrival_ms
+        responses.append(
+            Response(
+                request_id=request.request_id,
+                status=status,
+                body=None,
+                arrival_ms=request.arrival_ms,
+                start_ms=request.arrival_ms,
+                completion_ms=completion,
+                source=source,
+                index_version=self.index.version,
+            )
+        )
+
+    # -- dispatch and execution --------------------------------------------------
+
+    def _dispatch(
+        self,
+        request: Request,
+        ready_ms: float,
+        responses: list[Response],
+        pool,
+        attempt: int = 0,
+    ) -> None:
+        """Place one admitted request on a replica of its shard."""
+        shard_id = self.shard_for(request.kind, request.target)
+        alive = self._available_replicas(shard_id, ready_ms)
+        if not alive:
+            if attempt + 1 >= self.cluster.max_dispatch_attempts:
+                self._shed(
+                    request, responses, status=503, source="shed",
+                    at_ms=ready_ms,
+                )
+                return
+            # Every replica of the shard is down: wait for the first
+            # one back. The wake-up instant is a pure function of the
+            # fault schedule, so the retry replays exactly.
+            wake = min(
+                self._faults.next_available_at(replica.replica_id, ready_ms)
+                for replica in self.replicas[shard_id]
+            )
+            self._requeue(request, wake, attempt + 1)
+            return
+        outstanding = [replica.outstanding(ready_ms) for replica in alive]
+        choice = self._picker.pick(
+            shard_id,
+            len(alive),
+            outstanding,
+            request.request_id,
+            attempt=attempt,
+        )
+        replica = alive[choice]
+        self.metrics.counter("service.cluster.dispatches").inc()
+        batch = replica.batcher.add(request, ready_ms)
+        if batch is not None:
+            self._execute(replica, batch, responses, pool)
+
+    def _execute(
+        self, replica: _Replica, batch: Batch, responses: list[Response], pool
+    ) -> None:
+        """Resolve one flushed batch on one replica.
+
+        Mirrors the single-node executor — cache pass, coalesced
+        lookups, latency assignment, emission — plus the replica-level
+        fault geometry: lookups pay the replica's slow/catch-up
+        multipliers and congestion, and any group whose completion
+        lands past the replica's next failure onset is *lost in
+        flight*: its requests go back to the router at the failure
+        instant instead of producing responses.
+        """
+        faults = self._faults
+        flush_ms = batch.flush_ms
+        groups = batch.groups()
+        rid = replica.replica_id
+        fail_at = (
+            faults.next_failure_at(rid, flush_ms) if faults else None
+        )
+        slow = faults.slow_factor(rid) if faults else 1.0
+        catchup = faults.catchup_factor(rid, flush_ms) if faults else 1.0
+        congestion_ms = (
+            self.cluster.congestion_ms_per_inflight
+            * replica.outstanding(flush_ms)
+        )
+
+        # Cache pass (coordinator thread; order = first-arrival order).
+        resolved: dict[str, tuple[int, object]] = {}
+        latency: dict[str, float] = {}
+        spike: dict[str, float] = {}
+        jobs: list[str] = []
+        for key in groups:
+            lost = faults.cache_lost(key, rid) if faults else False
+            if lost:
+                replica.metrics.counter("service.cache.faults").inc()
+            hit = None if lost else replica.cache.get(key, flush_ms)
+            if hit is not None:
+                resolved[key] = hit
+                latency[key] = self.config.cache_hit_latency_ms
+            else:
+                jobs.append(key)
+
+        # Index pass: pure lookups, serial or pooled — same order,
+        # same results, because shard views only read the frozen index.
+        job_requests = [groups[key][0].request for key in jobs]
+        if pool is not None and jobs:
+            results = list(
+                pool.map(
+                    lambda req: answer(replica.index, req.kind, req.target),
+                    job_requests,
+                )
+            )
+        else:
+            results = [
+                answer(replica.index, req.kind, req.target)
+                for req in job_requests
+            ]
+        for key, outcome in zip(jobs, results):
+            resolved[key] = outcome
+            spiked = faults.spike_ms(key, rid) if faults else 0.0
+            if spiked:
+                replica.metrics.counter("service.index.spikes").inc()
+            spike[key] = spiked
+            latency[key] = (
+                key_latency_ms(
+                    replica.index.version, key, self.config.index_latency_ms
+                )
+                * slow
+                * catchup
+                + spiked
+                + congestion_ms
+            )
+            replica.metrics.counter("service.index.lookups").inc()
+
+        # Emission pass: responses, counters, spans — or loss.
+        fresh = set(jobs)
+        for key, items in groups.items():
+            completion_ms = flush_ms + latency[key]
+            if fail_at is not None and completion_ms > fail_at:
+                # The replica dies under this group: everything it was
+                # computing is lost; the router re-dispatches at the
+                # failure instant. No response, no cache write.
+                replica.metrics.counter("service.cluster.lost_inflight").inc(
+                    len(items)
+                )
+                for item in items:
+                    self._requeue(item.request, fail_at)
+                continue
+            status, body = resolved[key]
+            if key in fresh:
+                replica.cache.put(key, resolved[key], flush_ms)
+            replica.note_completion(completion_ms, len(items))
+            if self.tracer is not None:
+                self._trace_group(
+                    replica, key, items, status, completion_ms,
+                    key in fresh, latency[key], spike.get(key, 0.0),
+                )
+            for position, item in enumerate(items):
+                request = item.request
+                if position == 0:
+                    source = "index" if key in fresh else "cache"
+                else:
+                    source = "coalesced"
+                replica.metrics.counter(
+                    "service.requests.ok"
+                    if status == 200
+                    else "service.requests.failed"
+                ).inc()
+                replica.metrics.histogram(
+                    "service.latency_ms", LATENCY_BOUNDS_MS
+                ).observe(completion_ms - request.arrival_ms)
+                responses.append(
+                    Response(
+                        request_id=request.request_id,
+                        status=status,
+                        body=body,
+                        arrival_ms=request.arrival_ms,
+                        start_ms=item.ready_ms,
+                        completion_ms=completion_ms,
+                        source=source,
+                        index_version=self.index.version,
+                    )
+                )
+
+    def _trace_group(
+        self,
+        replica: _Replica,
+        key: str,
+        items,
+        status: int,
+        completion_ms: float,
+        fresh: bool,
+        latency_ms: float,
+        spike_ms: float,
+    ) -> None:
+        """Emit request → index-lookup spans for one coalesced group,
+        tagged with the serving replica and shard."""
+        carrier = items[0].request
+        with self.tracer.span(
+            "request",
+            kind="service.request",
+            rid=carrier.request_id,
+            key=key,
+            status=status,
+            coalesced_riders=len(items) - 1,
+            shard=replica.shard_id,
+            replica=replica.replica_id,
+        ) as span:
+            span.add_virtual_ms(completion_ms - carrier.arrival_ms)
+            if fresh:
+                lookup = self.tracer.record_span(
+                    "index-lookup",
+                    kind="service.index",
+                    duration_s=0.0,
+                    key=key,
+                    spiked=bool(spike_ms),
+                    replica=replica.replica_id,
+                )
+                lookup.add_virtual_ms(latency_ms)
+        for item in items[1:]:
+            rider = self.tracer.record_span(
+                "request",
+                kind="service.request",
+                duration_s=0.0,
+                rid=item.request.request_id,
+                key=key,
+                status=status,
+                coalesced=True,
+                replica=replica.replica_id,
+            )
+            rider.add_virtual_ms(completion_ms - item.request.arrival_ms)

@@ -30,6 +30,7 @@ never response bodies.
 from __future__ import annotations
 
 import hashlib
+import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -43,7 +44,13 @@ from .faults import ServiceFaultPlan, ServiceFaults
 from .index import LinkStatusIndex
 from .workload import Request
 
-__all__ = ["LinkStatusService", "Response", "ServerConfig", "ServiceResult"]
+__all__ = [
+    "LinkStatusService",
+    "Response",
+    "ServerConfig",
+    "ServiceResult",
+    "key_latency_ms",
+]
 
 _UNIT_DENOM = float(2**64)
 
@@ -106,8 +113,33 @@ class Response:
 
     @property
     def shed(self) -> bool:
-        """Whether admission control rejected this request."""
-        return self.status == 429
+        """Whether the request was rejected rather than answered.
+
+        429 is admission control (rate/quota); 503 is the cluster
+        tier's "no replica of the owning shard recovered in time".
+        The single-node service never emits 503.
+        """
+        return self.status in (429, 503)
+
+    def to_wire(self) -> bytes:
+        """The canonical serialized answer — what equivalence means.
+
+        Timing fields are deliberately excluded: the answer surface a
+        client sees is ``(status, body, index version)``, and that is
+        the surface the cluster differential tests compare byte-for-
+        byte against the single-node service. Latency is the
+        *documented* degradation dimension, not part of the answer.
+        """
+        return json.dumps(
+            {
+                "rid": self.request_id,
+                "status": self.status,
+                "body": self.body,
+                "index_version": self.index_version,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
 
 
 @dataclass
@@ -214,6 +246,22 @@ class ServiceResult:
         )
 
 
+def key_latency_ms(version: str, key: str, base_ms: float) -> float:
+    """Virtual cost of one index lookup for ``key`` (pre-fault).
+
+    Base cost times a hash-derived multiplier in [0.5, 1.5): the
+    latency *distribution* is non-degenerate (p50 ≠ p99) while each
+    key's cost is a pure function of the index version. Shared by the
+    single-node service and every cluster replica — a replica serving
+    under its parent snapshot's version therefore charges exactly the
+    single-node cost per key, which is what keeps the cluster's
+    faults-off latency surface honest.
+    """
+    digest = hashlib.sha256(f"{version}:{key}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "big") / _UNIT_DENOM
+    return base_ms * (0.5 + unit)
+
+
 def answer(index: LinkStatusIndex, kind: str, target: str) -> tuple[int, object]:
     """The pure query function the service batches and caches.
 
@@ -288,17 +336,10 @@ class LinkStatusService:
     # -- deterministic latency model ---------------------------------------------
 
     def index_latency_ms(self, key: str) -> float:
-        """Virtual cost of one index lookup for ``key`` (pre-fault).
-
-        Base cost times a hash-derived multiplier in [0.5, 1.5): the
-        latency *distribution* is non-degenerate (p50 ≠ p99) while
-        each key's cost is a pure function of the index version.
-        """
-        digest = hashlib.sha256(
-            f"{self.index.version}:{key}".encode("utf-8")
-        ).digest()
-        unit = int.from_bytes(digest[:8], "big") / _UNIT_DENOM
-        return self.config.index_latency_ms * (0.5 + unit)
+        """Virtual cost of one index lookup for ``key`` (pre-fault)."""
+        return key_latency_ms(
+            self.index.version, key, self.config.index_latency_ms
+        )
 
     # -- the serve loop ----------------------------------------------------------
 

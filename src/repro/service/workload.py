@@ -1,24 +1,41 @@
-"""Seeded synthetic traffic: Zipf-over-URLs, Poisson arrivals.
+"""Seeded synthetic traffic: Zipf-over-URLs, shaped arrival processes.
 
 Serving benchmarks are only comparable if the load is replayable, so
 the workload is a pure function of ``(url universe, WorkloadConfig)``:
 request popularity follows a truncated Zipf over the studied URLs
 (the head reuse a result cache feeds on), arrivals follow a seeded
-Poisson process at the configured offered load, and a configurable
+arrival process at the configured offered load, and a configurable
 slice of traffic exercises the aggregate endpoints and unknown-URL
 404 path. Two calls with the same inputs return identical request
 streams, which is what lets the overload tests pin the exact shed set
 and the benchmark sweep offered load as its only moving part.
+
+Three arrival patterns, all on the same seeded draw sequence:
+
+- ``poisson`` — homogeneous Poisson at ``offered_rps`` (the default,
+  byte-compatible with every stream generated before patterns
+  existed);
+- ``flash`` — Poisson whose rate multiplies by ``flash_factor``
+  during a window around the middle of the run (a flash crowd: a
+  linked-from-the-front-page surge);
+- ``diurnal`` — Poisson whose rate swings sinusoidally by
+  ``diurnal_amplitude`` over ``diurnal_cycles`` cycles (the day/night
+  traffic curve a global service actually sees).
+
+Multi-tenant runs name their tenants in ``tenants``; each request is
+then assigned one (seeded, uniform), which is what the cluster tier's
+per-tenant admission quotas meter on.
 """
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass
 
 from ..rng import Stream, derive_seed
 
-__all__ = ["Request", "WorkloadConfig", "generate_workload"]
+__all__ = ["PATTERNS", "Request", "WorkloadConfig", "generate_workload"]
 
 #: Aggregate endpoints the mixed workload cycles through.
 _AGGREGATE_TARGETS = (
@@ -26,6 +43,9 @@ _AGGREGATE_TARGETS = (
     ("quantile", "posting_year:0.5"),
     ("quantile", "urls_per_domain:0.9"),
 )
+
+#: Arrival patterns :func:`generate_workload` understands.
+PATTERNS: tuple[str, ...] = ("poisson", "flash", "diurnal")
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,12 +59,15 @@ class Request:
         kind: ``"url"``, ``"domain"``, ``"bucket_counts"``, or
             ``"quantile"``.
         target: the URL / domain / ``"metric:q"`` the kind applies to.
+        tenant: the traffic source this request bills to (empty for
+            single-tenant runs; quotas ignore unnamed tenants).
     """
 
     request_id: int
     arrival_ms: float
     kind: str
     target: str
+    tenant: str = ""
 
     @property
     def key(self) -> str:
@@ -64,6 +87,19 @@ class WorkloadConfig:
     aggregate_fraction: float = 0.0
     #: Share of URL requests probing URLs outside the index (404 path).
     unknown_fraction: float = 0.0
+    #: Arrival process: ``poisson`` (default), ``flash``, ``diurnal``.
+    pattern: str = "poisson"
+    #: Flash crowd: rate multiplier inside the surge window, and the
+    #: window itself as fractions of the expected run duration.
+    flash_factor: float = 5.0
+    flash_start_fraction: float = 0.45
+    flash_duration_fraction: float = 0.1
+    #: Diurnal cycle: relative amplitude of the sinusoidal rate swing
+    #: and how many full cycles the expected run duration spans.
+    diurnal_amplitude: float = 0.6
+    diurnal_cycles: float = 2.0
+    #: Tenant names to spread traffic over (empty = single-tenant).
+    tenants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_requests < 0:
@@ -74,6 +110,44 @@ class WorkloadConfig:
             raise ValueError("aggregate_fraction must be in [0, 1]")
         if not 0.0 <= self.unknown_fraction <= 1.0:
             raise ValueError("unknown_fraction must be in [0, 1]")
+        if self.pattern not in PATTERNS:
+            raise ValueError(
+                f"unknown arrival pattern {self.pattern!r}; known: {PATTERNS}"
+            )
+        if self.flash_factor < 1.0:
+            raise ValueError("flash_factor must be >= 1")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+    @property
+    def expected_duration_ms(self) -> float:
+        """The run's nominal span at the base rate (patterns key off it)."""
+        return self.n_requests / self.offered_rps * 1000.0
+
+    def rate_at(self, clock_ms: float) -> float:
+        """The instantaneous offered rate (rps) at ``clock_ms`` — pure."""
+        if self.pattern == "flash":
+            start = self.flash_start_fraction * self.expected_duration_ms
+            end = start + (
+                self.flash_duration_fraction * self.expected_duration_ms
+            )
+            if start <= clock_ms < end:
+                return self.offered_rps * self.flash_factor
+            return self.offered_rps
+        if self.pattern == "diurnal":
+            phase = (
+                2.0
+                * math.pi
+                * self.diurnal_cycles
+                * clock_ms
+                / self.expected_duration_ms
+                if self.expected_duration_ms > 0
+                else 0.0
+            )
+            return self.offered_rps * (
+                1.0 + self.diurnal_amplitude * math.sin(phase)
+            )
+        return self.offered_rps
 
 
 def _zipf_cdf(n: int, alpha: float) -> list[float]:
@@ -98,7 +172,10 @@ def generate_workload(
 
     ``urls`` is the query universe in a stable order (usually
     ``index.entries`` order); rank 1 of the Zipf is ``urls[0]``, so
-    the popular head is the front of the studied sample.
+    the popular head is the front of the studied sample. The draw
+    sequence is pattern- and tenant-stable: a default config consumes
+    exactly the draws the pre-pattern generator consumed, so every
+    previously pinned stream replays unchanged.
     """
     if not urls:
         raise ValueError("workload needs a non-empty URL universe")
@@ -106,12 +183,12 @@ def generate_workload(
         derive_seed(config.seed, "service.workload"), name="service.workload"
     )
     cdf = _zipf_cdf(len(urls), config.zipf_alpha)
-    mean_gap_ms = 1000.0 / config.offered_rps
 
     requests: list[Request] = []
     clock_ms = 0.0
     for request_id in range(config.n_requests):
-        clock_ms += stream.expovariate(1.0 / mean_gap_ms)
+        rate = config.rate_at(clock_ms)
+        clock_ms += stream.expovariate(rate / 1000.0)
         if stream.random() < config.aggregate_fraction:
             kind, target = _AGGREGATE_TARGETS[
                 request_id % len(_AGGREGATE_TARGETS)
@@ -123,12 +200,18 @@ def generate_workload(
             kind = "url"
             rank = bisect_left(cdf, stream.random())
             target = urls[min(rank, len(urls) - 1)]
+        tenant = (
+            config.tenants[stream.randrange(len(config.tenants))]
+            if config.tenants
+            else ""
+        )
         requests.append(
             Request(
                 request_id=request_id,
                 arrival_ms=clock_ms,
                 kind=kind,
                 target=target,
+                tenant=tenant,
             )
         )
     return tuple(requests)

@@ -148,6 +148,45 @@ class TestShardWall:
         assert stats.registry.counter("records.traced").int_value == 10
         assert stats.registry.histogram("record.wall_s").count == 2
 
+    def test_merge_prefixed_publishes_per_source_families(self):
+        # The cluster tier's fold path: each replica registry merges
+        # twice — once plain (the fleet rollup) and once under a
+        # per-replica prefix — so the rollup is exactly the sum of the
+        # prefixed families.
+        fleet = MetricsRegistry()
+        for rid, lookups in (("s0r0", 3), ("s0r1", 5)):
+            replica = MetricsRegistry()
+            replica.counter("service.index.lookups").inc(lookups)
+            replica.gauge("service.queue.depth").set(lookups)
+            replica.histogram("service.latency_ms", (1.0, 10.0)).observe(
+                float(lookups)
+            )
+            fleet.merge(replica)
+            fleet.merge_prefixed(replica, f"service.replica.{rid}.")
+        assert fleet.counter("service.index.lookups").int_value == 8
+        assert (
+            fleet.counter("service.replica.s0r0.service.index.lookups").value
+            + fleet.counter("service.replica.s0r1.service.index.lookups").value
+            == fleet.counter("service.index.lookups").value
+        )
+        # Gauges keep the incoming value per family; histograms add.
+        assert fleet.gauge("service.replica.s0r1.service.queue.depth").value == 5
+        assert fleet.histogram("service.latency_ms", (1.0, 10.0)).count == 2
+        assert (
+            fleet.histogram(
+                "service.replica.s0r0.service.latency_ms", (1.0, 10.0)
+            ).count
+            == 1
+        )
+
+    def test_merge_prefixed_rejects_mismatched_histogram_bounds(self):
+        fleet = MetricsRegistry()
+        fleet.histogram("service.replica.r.lat", (1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("lat", (2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds"):
+            fleet.merge_prefixed(other, "service.replica.r.")
+
 
 class TestSummaryFormatting:
     def test_quiet_run_renders_zeroes_not_errors(self):
