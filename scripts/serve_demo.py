@@ -18,6 +18,12 @@ Usage::
     --trace PATH      append the service span tree as JSONL
                       (service → request → index-lookup); feed it to
                       scripts/trace_report.py
+    --audit-log PATH  write one per-request audit JSONL per load
+                      level (PATH stem gains a "-<level>x" suffix);
+                      feed it to scripts/slo_report.py
+    --metrics-json PATH
+                      write one canonical metrics snapshot JSON per
+                      load level (same suffix scheme)
 
 Builds a world, runs the batch study, freezes it into a
 :class:`~repro.service.LinkStatusIndex`, then replays seeded Zipf
@@ -37,8 +43,9 @@ from pathlib import Path
 from repro.analysis.study import Study
 from repro.dataset.worldgen import WorldConfig, generate_world
 from repro.faults import FaultSpec
-from repro.obs import Tracer
+from repro.obs import Tracer, render_json
 from repro.service import (
+    AuditLog,
     ClusterConfig,
     ClusterService,
     LinkStatusIndex,
@@ -48,6 +55,12 @@ from repro.service import (
     WorkloadConfig,
     generate_workload,
 )
+
+
+def _level_path(path: Path, level: float) -> Path:
+    """Per-level output file: request ids repeat across load levels,
+    so each level gets its own artifact."""
+    return path.with_name(f"{path.stem}-{level:g}x{path.suffix}")
 
 
 def parse_args(argv):
@@ -73,6 +86,8 @@ def parse_args(argv):
         "--pattern", choices=("poisson", "flash", "diurnal"), default="poisson"
     )
     parser.add_argument("--trace", type=Path, default=None)
+    parser.add_argument("--audit-log", type=Path, default=None)
+    parser.add_argument("--metrics-json", type=Path, default=None)
     return parser.parse_args(argv)
 
 
@@ -122,6 +137,7 @@ def main(argv=None) -> int:
                 pattern=args.pattern,
             ),
         )
+        audit = AuditLog() if args.audit_log else None
         if clustered:
             service = ClusterService(
                 index,
@@ -133,10 +149,11 @@ def main(argv=None) -> int:
                 ),
                 tracer=tracer,
                 faults=faults,
+                audit=audit,
             )
         else:
             service = LinkStatusService(
-                index, config, tracer=tracer, faults=faults
+                index, config, tracer=tracer, faults=faults, audit=audit
             )
         wall_start = time.perf_counter()
         result = service.serve(workload, mode=args.mode)
@@ -158,6 +175,16 @@ def main(argv=None) -> int:
                     f"  {replica_id}: {int(ok)} ok, {int(lookups)} lookups"
                 )
         print(f"replay wall: {wall:.3f}s")
+        if audit is not None:
+            audit_path = _level_path(args.audit_log, level)
+            written = audit.write_jsonl(audit_path)
+            print(f"wrote {written} audit records to {audit_path}")
+        if args.metrics_json is not None:
+            metrics_path = _level_path(args.metrics_json, level)
+            metrics_path.write_text(
+                render_json(result.metrics), encoding="utf-8"
+            )
+            print(f"wrote metrics snapshot to {metrics_path}")
 
     if tracer is not None:
         written = tracer.write_jsonl(args.trace)

@@ -19,6 +19,12 @@ per line; see :mod:`repro.obs.trace`) and prints:
 - per-phase latency histograms over the individually-timed work items
   (record stages and backend calls).
 
+Service-tier traces (``serve_demo.py --trace`` / ``repro serve
+--trace``) additionally get the cluster geometry: per-replica request
+counts (carriers vs coalesced riders, shard membership, virtual
+latency booked) and forced re-dispatch counts per (replica, fault
+channel) — the trace-side mirror of the audit log's blame trail.
+
 Everything is computed by :mod:`repro.obs.traceview`; this file is
 only argument parsing and text rendering.
 """
@@ -34,6 +40,8 @@ from repro.obs import (
     phase_latency_histograms,
     phase_totals,
     read_jsonl,
+    redispatch_attribution,
+    replica_attribution,
     top_records,
 )
 
@@ -137,6 +145,28 @@ def main(argv=None) -> int:
         for phase, histogram in sorted(histograms.items()):
             print(f"{phase}:")
             print(render_histogram(histogram))
+        print()
+
+    replicas = replica_attribution(spans)
+    if replicas:
+        print("cluster replicas (from service.request spans):")
+        print(
+            f"  {'replica':<12} {'shard':<10} {'requests':>8} "
+            f"{'carriers':>8} {'riders':>8} {'sheds':>6} {'virtual ms':>11}"
+        )
+        for cost in replicas.values():
+            print(
+                f"  {cost.replica:<12} {cost.shard or '-':<10} "
+                f"{cost.requests:>8} {cost.carriers:>8} {cost.riders:>8} "
+                f"{cost.sheds:>6} {cost.virtual_ms:>11.1f}"
+            )
+        print()
+
+    redispatches = redispatch_attribution(spans)
+    if redispatches:
+        print("forced re-dispatches by (replica, fault channel):")
+        for (replica, channel), count in redispatches.items():
+            print(f"  {replica:<12} {channel:<12} {count:>6}")
         print()
     return 0
 

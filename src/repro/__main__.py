@@ -8,6 +8,8 @@ Subcommands:
     python -m repro serve [--requests M] [--rps R]    replay traffic at the service
                     [--shards N] [--replicas R]       ... through the sharded cluster
                     [--policy P] [--crash-rate F]     ... under replica chaos
+                    [--trace P] [--audit-log P]       ... emitting spans + audit JSONL
+                    [--metrics-json P] [--prometheus P] [--slo]   ... and graded SLOs
     python -m repro query (--url U | --domain D |     one query against the index
                            --quantile M:Q | --bucket-counts) [--shards N]
 
@@ -147,7 +149,17 @@ def _build_index(args):
 
 
 def _cmd_serve(args) -> int:
+    from .obs import (
+        Tracer,
+        burn_attribution,
+        evaluate,
+        events_from_audit,
+        prometheus_text,
+        render_attribution,
+        render_json,
+    )
     from .service import (
+        AuditLog,
         ClusterConfig,
         ClusterService,
         LinkStatusService,
@@ -179,6 +191,8 @@ def _cmd_serve(args) -> int:
             replica_crash=FaultSpec(rate=args.crash_rate, permanent=True),
         )
     clustered = args.shards > 1 or args.replicas > 1
+    tracer = Tracer() if args.trace else None
+    audit = AuditLog() if (args.audit_log or args.slo) else None
     if clustered:
         service = ClusterService(
             index,
@@ -189,9 +203,13 @@ def _cmd_serve(args) -> int:
                 policy=args.policy,
             ),
             faults=faults,
+            tracer=tracer,
+            audit=audit,
         )
     else:
-        service = LinkStatusService(index, config, faults=faults)
+        service = LinkStatusService(
+            index, config, faults=faults, tracer=tracer, audit=audit
+        )
     result = service.serve(workload, mode=args.mode)
     print()
     print(result.summary())
@@ -207,6 +225,30 @@ def _cmd_serve(args) -> int:
             json.dump(result.as_dict(), handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if tracer is not None:
+        written = tracer.write_jsonl(args.trace)
+        print(f"wrote {written} spans to {args.trace}")
+    if args.audit_log:
+        written = audit.write_jsonl(args.audit_log)
+        print(f"wrote {written} audit records to {args.audit_log}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result.metrics))
+        print(f"wrote metrics snapshot to {args.metrics_json}")
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(result.metrics))
+        print(f"wrote Prometheus exposition to {args.prometheus}")
+    if args.slo:
+        records = [record.to_event() for record in audit.records]
+        report = evaluate(events_from_audit(records))
+        print()
+        print("SLO verdicts:")
+        print(report.render())
+        print()
+        print("budget burn by (replica, fault channel):")
+        print(render_attribution(burn_attribution(records)))
+        return 0 if report.met else 1
     return 0
 
 
@@ -330,6 +372,38 @@ def main(argv: list[str] | None = None) -> int:
                 metavar="PATH",
                 default=None,
                 help="also write the run digest as JSON",
+            )
+            cmd.add_argument(
+                "--trace",
+                metavar="PATH",
+                default=None,
+                help="write the service span tree as JSONL",
+            )
+            cmd.add_argument(
+                "--audit-log",
+                metavar="PATH",
+                default=None,
+                help="write the per-request audit log as JSONL",
+            )
+            cmd.add_argument(
+                "--metrics-json",
+                metavar="PATH",
+                default=None,
+                help="write the metrics snapshot as canonical JSON",
+            )
+            cmd.add_argument(
+                "--prometheus",
+                metavar="PATH",
+                default=None,
+                help="write the metrics in Prometheus text format",
+            )
+            cmd.add_argument(
+                "--slo",
+                action="store_true",
+                help=(
+                    "grade the run against the stock service SLOs "
+                    "(exit 1 on violation)"
+                ),
             )
         if name == "query":
             what = cmd.add_mutually_exclusive_group(required=True)

@@ -1,0 +1,494 @@
+"""Declarative service-level objectives on the virtual clock.
+
+The cluster tier can degrade in exactly three documented dimensions —
+availability (503s after replica loss), latency, and shed rate — and
+this module is the layer that turns "degraded" into a yes/no answer a
+deployment can act on. An :class:`SloSpec` declares an objective over
+one of those dimensions; :func:`evaluate` grades a run's completion
+events against it with **exact, deterministic error-budget
+accounting**: the same seeded run always produces the same SLI, the
+same budget arithmetic, and the same alert intervals, because every
+input is a virtual-clock instant and every computation is integer
+counting plus fixed float arithmetic (no sampling, no wall clock).
+
+Burn-rate alerts follow the Google-SRE multi-window form: an alert
+window pairs a *long* lookback (did we really burn budget?) with a
+*short* one (are we still burning it?), and fires only at instants
+where **both** sliding windows burn faster than the window's
+threshold multiple of the sustainable rate. Sliding windows advance
+on event completion instants, so alert intervals are exact functions
+of the run, not of an evaluator's polling cadence.
+
+SLI definitions (the denominators matter and are pinned by tests):
+
+- ``availability`` — good = the request was answered (no 5xx; a 503
+  is the cluster giving up after replica loss). Denominator: every
+  request, including policy sheds.
+- ``shed_rate`` — good = the request was not shed at all (no 429, no
+  503). Denominator: every request.
+- ``latency`` — good = answered within ``threshold_ms``. Denominator:
+  answered requests only (a shed request has no service latency; the
+  shed-rate SLO owns it), the standard SRE convention.
+
+:func:`burn_attribution` closes the loop with the chaos harness: the
+service audit log records, per request, which replica/fault-channel
+events forced re-dispatches, so every bad SLI event can be charged to
+the fault that caused it — "replica s0r1's crash burned 40% of the
+availability budget" becomes a computed table, not a guess.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+__all__ = [
+    "BurnAlert",
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "DEFAULT_SERVICE_SLOS",
+    "SLO_KINDS",
+    "SloEvent",
+    "SloOutcome",
+    "SloReport",
+    "SloSpec",
+    "burn_attribution",
+    "evaluate",
+    "events_from_audit",
+    "events_from_responses",
+    "render_attribution",
+]
+
+#: SLI kinds :func:`evaluate` understands.
+SLO_KINDS: tuple[str, ...] = ("availability", "latency", "shed_rate")
+
+#: Statuses that count as "the service shed this request".
+_SHED_STATUSES = (429, 503)
+
+
+@dataclass(frozen=True, slots=True)
+class SloEvent:
+    """One graded completion: when it finished and how it went."""
+
+    at_ms: float
+    status: int
+    latency_ms: float
+
+    @property
+    def shed(self) -> bool:
+        return self.status in _SHED_STATUSES
+
+    @property
+    def answered(self) -> bool:
+        """Whether a client got an answer (2xx/4xx body, not a shed)."""
+        return self.status < 500 and self.status not in _SHED_STATUSES
+
+
+def events_from_responses(responses) -> tuple[SloEvent, ...]:
+    """Grade a serve run's :class:`~repro.service.server.Response` list."""
+    return tuple(
+        sorted(
+            (
+                SloEvent(
+                    at_ms=response.completion_ms,
+                    status=response.status,
+                    latency_ms=response.latency_ms,
+                )
+                for response in responses
+            ),
+            key=lambda event: (event.at_ms, event.status, event.latency_ms),
+        )
+    )
+
+
+def events_from_audit(records: list[dict]) -> tuple[SloEvent, ...]:
+    """Grade parsed audit-log events (see :mod:`repro.service.audit`)."""
+    return tuple(
+        sorted(
+            (
+                SloEvent(
+                    at_ms=float(record["completion_ms"]),
+                    status=int(record["status"]),
+                    latency_ms=float(record["completion_ms"])
+                    - float(record["arrival_ms"]),
+                )
+                for record in records
+            ),
+            key=lambda event: (event.at_ms, event.status, event.latency_ms),
+        )
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BurnWindow:
+    """One multi-window burn-rate alert rule.
+
+    Fires at instants where the error budget burns at ≥ ``threshold``
+    times the sustainable rate over *both* the long and the short
+    sliding window. The classic SRE pairs are (1h, 5m, 14.4×) and
+    (6h, 30m, 6×) on wall clocks; the defaults here are the same
+    shapes scaled to the virtual-millisecond runs the simulation
+    serves.
+    """
+
+    long_ms: float
+    short_ms: float
+    threshold: float
+    severity: str = "page"
+
+
+#: Default alert pairs, scaled to virtual-ms serving runs.
+DEFAULT_BURN_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow(long_ms=5_000.0, short_ms=500.0, threshold=14.4, severity="page"),
+    BurnWindow(long_ms=30_000.0, short_ms=3_000.0, threshold=6.0, severity="ticket"),
+)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative objective over a serving run."""
+
+    name: str
+    kind: str
+    #: Required good fraction in (0, 1]; the error budget is 1 - this.
+    objective: float
+    #: Latency SLOs only: the "good" bar in virtual milliseconds.
+    threshold_ms: float = 0.0
+    windows: tuple[BurnWindow, ...] = DEFAULT_BURN_WINDOWS
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; known: {SLO_KINDS}"
+            )
+        if not 0.0 < self.objective <= 1.0:
+            raise ValueError("objective must be in (0, 1]")
+        if self.kind == "latency" and self.threshold_ms <= 0.0:
+            raise ValueError("latency SLOs need a positive threshold_ms")
+
+    def eligible(self, event: SloEvent) -> bool:
+        """Whether this event is in the SLI denominator."""
+        if self.kind == "latency":
+            return event.answered
+        return True
+
+    def good(self, event: SloEvent) -> bool:
+        """Whether an eligible event met the objective."""
+        if self.kind == "availability":
+            return event.status < 500
+        if self.kind == "shed_rate":
+            return not event.shed
+        return event.latency_ms <= self.threshold_ms
+
+
+#: The service tier's stock objectives (used by the CLIs when none
+#: are given). Deliberately modest: the chaos grid is supposed to be
+#: able to violate them.
+DEFAULT_SERVICE_SLOS: tuple[SloSpec, ...] = (
+    SloSpec(name="availability", kind="availability", objective=0.999),
+    SloSpec(
+        name="latency-p99", kind="latency", objective=0.99, threshold_ms=250.0
+    ),
+    SloSpec(name="shed-rate", kind="shed_rate", objective=0.95),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BurnAlert:
+    """One fired multi-window alert: the interval both windows burned."""
+
+    window: BurnWindow
+    start_ms: float
+    end_ms: float
+    peak_burn: float
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.window.severity,
+            "long_ms": self.window.long_ms,
+            "short_ms": self.window.short_ms,
+            "threshold": self.window.threshold,
+            "start_ms": round(self.start_ms, 6),
+            "end_ms": round(self.end_ms, 6),
+            "peak_burn": round(self.peak_burn, 4),
+        }
+
+
+@dataclass(frozen=True)
+class SloOutcome:
+    """One spec graded against one run: exact budget arithmetic."""
+
+    spec: SloSpec
+    eligible: int
+    good: int
+    alerts: tuple[BurnAlert, ...] = ()
+
+    @property
+    def bad(self) -> int:
+        return self.eligible - self.good
+
+    @property
+    def sli(self) -> float:
+        """Achieved good fraction (1.0 on an empty denominator)."""
+        return self.good / self.eligible if self.eligible else 1.0
+
+    @property
+    def budget_total(self) -> float:
+        """Allowed bad events: (1 - objective) × eligible, exactly."""
+        return (1.0 - self.spec.objective) * self.eligible
+
+    @property
+    def budget_consumed_fraction(self) -> float:
+        """Bad events over allowed bad events (∞-safe: 0 budget with
+        0 bad is 0.0; 0 budget with any bad reports the bad count)."""
+        if self.budget_total > 0.0:
+            return self.bad / self.budget_total
+        return 0.0 if self.bad == 0 else float(self.bad)
+
+    @property
+    def met(self) -> bool:
+        return self.sli >= self.spec.objective
+
+    @property
+    def verdict(self) -> str:
+        return "met" if self.met else "violated"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "objective": self.spec.objective,
+            "threshold_ms": self.spec.threshold_ms,
+            "eligible": self.eligible,
+            "good": self.good,
+            "bad": self.bad,
+            "sli": round(self.sli, 6),
+            "budget_total": round(self.budget_total, 6),
+            "budget_consumed_fraction": round(
+                self.budget_consumed_fraction, 6
+            ),
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Every spec's outcome for one run."""
+
+    outcomes: tuple[SloOutcome, ...]
+
+    @property
+    def met(self) -> bool:
+        return all(outcome.met for outcome in self.outcomes)
+
+    def outcome(self, name: str) -> SloOutcome:
+        for outcome in self.outcomes:
+            if outcome.spec.name == name:
+                return outcome
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "met": self.met,
+            "slos": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """Fixed-width verdict table (the CLIs print this)."""
+        lines = [
+            f"  {'slo':<14} {'objective':>9} {'sli':>9} {'bad':>6} "
+            f"{'budget':>8} {'burned':>8} {'alerts':>6}  verdict"
+        ]
+        for outcome in self.outcomes:
+            lines.append(
+                f"  {outcome.spec.name:<14} "
+                f"{outcome.spec.objective:>9.4f} {outcome.sli:>9.4f} "
+                f"{outcome.bad:>6} {outcome.budget_total:>8.2f} "
+                f"{outcome.budget_consumed_fraction:>7.0%} "
+                f"{len(outcome.alerts):>6}  {outcome.verdict}"
+            )
+        return "\n".join(lines)
+
+
+def _window_alerts(
+    spec: SloSpec, times: list[float], bad_prefix: list[int]
+) -> tuple[BurnAlert, ...]:
+    """Fire every multi-window alert over one spec's eligible events.
+
+    ``times`` are eligible completion instants in order;
+    ``bad_prefix[i]`` counts bad events among the first ``i``. Burn
+    rate of window ``W`` at instant ``t`` = bad fraction of the
+    events in ``(t - W, t]`` over the budget fraction. Consecutive
+    firing instants coalesce into one alert interval.
+    """
+    budget_fraction = 1.0 - spec.objective
+    if budget_fraction <= 0.0 or not times:
+        return ()
+    alerts: list[BurnAlert] = []
+    for window in spec.windows:
+
+        def burn(index: int, span_ms: float) -> float:
+            left = bisect_left(times, times[index] - span_ms, 0, index + 1)
+            in_window = index + 1 - left
+            bad = bad_prefix[index + 1] - bad_prefix[left]
+            return (bad / in_window) / budget_fraction if in_window else 0.0
+
+        start: float | None = None
+        last: float = 0.0
+        peak: float = 0.0
+        for index in range(len(times)):
+            long_burn = burn(index, window.long_ms)
+            firing = long_burn >= window.threshold and (
+                burn(index, window.short_ms) >= window.threshold
+            )
+            if firing:
+                if start is None:
+                    start = times[index]
+                    peak = 0.0
+                last = times[index]
+                peak = max(peak, long_burn)
+            elif start is not None:
+                alerts.append(BurnAlert(window, start, last, peak))
+                start = None
+        if start is not None:
+            alerts.append(BurnAlert(window, start, last, peak))
+    alerts.sort(key=lambda a: (a.start_ms, a.window.long_ms))
+    return tuple(alerts)
+
+
+def evaluate(
+    events, specs: tuple[SloSpec, ...] = DEFAULT_SERVICE_SLOS
+) -> SloReport:
+    """Grade one run's events against every spec. Pure and exact."""
+    ordered = sorted(events, key=lambda e: (e.at_ms, e.status, e.latency_ms))
+    outcomes = []
+    for spec in specs:
+        times: list[float] = []
+        bad_prefix: list[int] = [0]
+        good = 0
+        for event in ordered:
+            if not spec.eligible(event):
+                continue
+            is_good = spec.good(event)
+            good += is_good
+            times.append(event.at_ms)
+            bad_prefix.append(bad_prefix[-1] + (not is_good))
+        outcomes.append(
+            SloOutcome(
+                spec=spec,
+                eligible=len(times),
+                good=good,
+                alerts=_window_alerts(spec, times, bad_prefix),
+            )
+        )
+    return SloReport(outcomes=tuple(outcomes))
+
+
+# -- chaos attribution -----------------------------------------------------------
+
+
+def _blamed(record: dict) -> tuple[tuple[str, str], ...]:
+    """The (replica, channel) pairs the audit log charged a request to."""
+    pairs = []
+    for entry in record.get("redispatches", ()):
+        replica, _, channel = str(entry).partition(":")
+        pairs.append((replica, channel or "?"))
+    # A request can be re-dispatched off the same replica repeatedly
+    # (drain then lost-in-flight); charge each fault once per request.
+    return tuple(dict.fromkeys(pairs))
+
+
+def burn_attribution(
+    records: list[dict],
+    specs: tuple[SloSpec, ...] = DEFAULT_SERVICE_SLOS,
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Charge every bad SLI event to the fault that caused it.
+
+    Reads parsed audit events (dicts from
+    :func:`repro.service.audit.read_jsonl`). For each spec, a bad
+    event is attributed to every ``replica:channel`` fault that
+    re-dispatched the request (the blame trail the cluster records);
+    a bad event with no recorded fault is charged to the replica that
+    actually served it under the pseudo-channel ``"served"`` (which
+    is where permanently-slow-replica latency burn shows up — the
+    slow replica *is* the serving replica). Unattributable events
+    (sheds at the front door) land under ``("-", "admission")``.
+
+    Returns ``{(replica, channel): {"requests": n, "<spec>_bad": n,
+    "<spec>_budget_fraction": f, ...}}`` with exact counts.
+    """
+    events_by_record = events_from_audit(records) if records else ()
+    report = evaluate(events_by_record, specs)
+    budget = {
+        outcome.spec.name: outcome.budget_total for outcome in report.outcomes
+    }
+    table: dict[tuple[str, str], dict[str, float]] = {}
+
+    def charge(key: tuple[str, str], spec_name: str) -> None:
+        row = table.get(key)
+        if row is None:
+            row = table[key] = {"requests": 0.0}
+            for spec in specs:
+                row[f"{spec.name}_bad"] = 0.0
+        row[f"{spec_name}_bad"] += 1.0
+
+    def note_request(key: tuple[str, str]) -> None:
+        row = table.get(key)
+        if row is None:
+            row = table[key] = {"requests": 0.0}
+            for spec in specs:
+                row[f"{spec.name}_bad"] = 0.0
+        row["requests"] += 1.0
+
+    for record in records:
+        event = SloEvent(
+            at_ms=float(record["completion_ms"]),
+            status=int(record["status"]),
+            latency_ms=float(record["completion_ms"])
+            - float(record["arrival_ms"]),
+        )
+        blamed = _blamed(record)
+        replica = str(record.get("replica", "")) or "-"
+        fallback = (
+            (replica, "served")
+            if replica != "-"
+            else ("-", str(record.get("reason", "")) or "admission")
+        )
+        for key in blamed or (fallback,):
+            note_request(key)
+        for spec in specs:
+            if not spec.eligible(event) or spec.good(event):
+                continue
+            for key in blamed or (fallback,):
+                charge(key, spec.name)
+
+    for row in table.values():
+        for spec in specs:
+            allowed = budget.get(spec.name, 0.0)
+            bad = row[f"{spec.name}_bad"]
+            row[f"{spec.name}_budget_fraction"] = (
+                bad / allowed if allowed > 0.0 else (0.0 if not bad else bad)
+            )
+    return dict(sorted(table.items()))
+
+
+def render_attribution(
+    table: dict[tuple[str, str], dict[str, float]],
+    specs: tuple[SloSpec, ...] = DEFAULT_SERVICE_SLOS,
+) -> str:
+    """Fixed-width chaos budget-burn table (the CLIs print this)."""
+    if not table:
+        return "  (no audited requests)"
+    header = f"  {'replica':<8} {'channel':<10} {'requests':>8}"
+    for spec in specs:
+        header += f" {spec.name + ' burn':>18}"
+    lines = [header]
+    for (replica, channel), row in table.items():
+        line = f"  {replica:<8} {channel:<10} {int(row['requests']):>8}"
+        for spec in specs:
+            bad = int(row[f"{spec.name}_bad"])
+            frac = row[f"{spec.name}_budget_fraction"]
+            line += f" {f'{bad} ({frac:.0%})':>18}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -125,11 +125,91 @@ class Tracer:
         self._issued = 0
         self._stack: list[Span] = []
         #: Finished spans, in completion order (children before parents).
-        self.spans: list[Span] = []
+        self._spans: list[Span] = []
+        #: Deferred span emissions from :meth:`defer_span` — compact
+        #: tuples materialized into :class:`Span` objects only when
+        #: the spans are read. ``_deferred_ids`` keeps the issued id
+        #: of every already-materialized deferred span so buffered
+        #: parent references (absolute defer indices) stay resolvable
+        #: across drains.
+        self._deferred: list[tuple] = []
+        self._deferred_ids: list[str] = []
+        #: Callables that backfill deferred spans on first read (the
+        #: serving tier registers its observation-log expansion here).
+        self._pending_sources: list = []
+
+    def add_pending_source(self, source) -> None:
+        """Register a callable that emits deferred spans when the
+        trace is first read (mirrors
+        :meth:`MetricsRegistry.add_pending_source`)."""
+        self._pending_sources.append(source)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, children before parents.
+
+        Reading this runs any registered pending sources, then
+        materializes any spans buffered by :meth:`defer_span` (they
+        land after the already-finished eager spans; list order is
+        not part of any contract — see the module docstring).
+        """
+        if self._pending_sources:
+            sources, self._pending_sources = self._pending_sources, []
+            for source in sources:
+                source()
+        if self._deferred:
+            self._drain()
+        return self._spans
 
     def _new_id(self) -> str:
         self._issued += 1
         return f"{self._prefix}{self._issued}"
+
+    def defer_span(
+        self,
+        name: str,
+        kind: str,
+        parent: "int | None" = None,
+        virtual_ms: float = 0.0,
+        **attrs,
+    ) -> int:
+        """Buffer a pre-measured span; materialize it on first read.
+
+        The serving tier emits tens of thousands of virtual-clock
+        spans per replay, and constructing :class:`Span` objects
+        inline would dominate the serving loop. This is the ring-
+        buffer alternative: one tuple append now, object construction
+        when the trace is consumed. Returns the span's *defer index*;
+        pass it as ``parent`` to a later call to parent one deferred
+        span under another (``None`` parents under the innermost
+        currently-open eager span). Wall duration is recorded as 0 —
+        deferred spans carry virtual time, which is the only clock
+        the serving tier's spans mean anything on.
+        """
+        index = len(self._deferred_ids) + len(self._deferred)
+        self._deferred.append(
+            (parent if parent is not None else self.current_id,
+             name, kind, virtual_ms, attrs)
+        )
+        return index
+
+    def _drain(self) -> None:
+        now = time.time()
+        pending, self._deferred = self._deferred, []
+        ids = self._deferred_ids
+        for parent, name, kind, virtual_ms, attrs in pending:
+            span = Span(
+                span_id=self._new_id(),
+                parent_id=ids[parent] if isinstance(parent, int) else parent,
+                name=name,
+                kind=kind,
+                wall_start=now,
+                duration_s=0.0,
+                virtual_ms=virtual_ms,
+                attrs=attrs,
+            )
+            ids.append(span.span_id)
+            self._spans.append(span)
 
     @property
     def current_id(self) -> str | None:
@@ -161,7 +241,10 @@ class Tracer:
         finally:
             span.duration_s = time.perf_counter() - start
             self._stack.pop()
-            self.spans.append(span)
+            # Append without draining the deferred buffer: a serving
+            # loop closing its root span must not pay for span
+            # materialization inside the measured region.
+            self._spans.append(span)
 
     def record_span(
         self,
@@ -187,7 +270,9 @@ class Tracer:
             sim_days=sim.days if sim is not None else None,
             attrs=dict(attrs),
         )
-        self.spans.append(span)
+        if self._deferred:
+            self._drain()
+        self._spans.append(span)
         return span
 
     def adopt(
@@ -201,10 +286,12 @@ class Tracer:
         must have used a distinct id prefix.
         """
         graft_parent = parent_id if parent_id is not None else self.current_id
+        if self._deferred:
+            self._drain()
         for span in spans:
             if span.parent_id is None:
                 span.parent_id = graft_parent
-            self.spans.append(span)
+            self._spans.append(span)
 
     def write_jsonl(self, path) -> int:
         """Append every collected span to ``path``; returns span count."""

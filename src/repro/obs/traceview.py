@@ -168,13 +168,96 @@ def kind_counts(spans: list[Span]) -> dict[str, int]:
     return dict(sorted(counts.items()))
 
 
+# -- cluster views ----------------------------------------------------------------
+
+
+@dataclass
+class ReplicaCost:
+    """One replica's serving traffic, read back from request spans."""
+
+    replica: str
+    shard: str = ""
+    requests: int = 0
+    carriers: int = 0
+    riders: int = 0
+    sheds: int = 0
+    virtual_ms: float = 0.0
+
+
+def replica_attribution(spans: list[Span]) -> dict[str, ReplicaCost]:
+    """Per-replica request counts and virtual latency, from
+    ``service.request`` spans.
+
+    Carrier spans carry both ``shard`` and ``replica`` attrs; rider
+    (coalesced) spans carry only ``replica``, so each replica's shard
+    is learned from its carriers. Front-door sheds have neither and
+    aggregate under the pseudo-replica ``"(front door)"``. Returns an
+    empty dict for single-node traces (no replica-tagged spans), which
+    is how callers detect there is no cluster section to render.
+    """
+    replicas: dict[str, ReplicaCost] = {}
+    tagged = False
+
+    def row(replica: str) -> ReplicaCost:
+        cost = replicas.get(replica)
+        if cost is None:
+            cost = replicas[replica] = ReplicaCost(replica=replica)
+        return cost
+
+    for span in spans:
+        if span.kind != "service.request":
+            continue
+        attrs = span.attrs
+        replica = str(attrs.get("replica", ""))
+        if replica:
+            tagged = True
+            cost = row(replica)
+            shard = str(attrs.get("shard", ""))
+            if shard:
+                cost.shard = shard
+            cost.requests += 1
+            if attrs.get("coalesced"):
+                cost.riders += 1
+            else:
+                cost.carriers += 1
+            cost.virtual_ms += span.virtual_ms
+        elif attrs.get("shed"):
+            cost = row("(front door)")
+            cost.requests += 1
+            cost.sheds += 1
+    if not tagged:
+        return {}
+    return dict(sorted(replicas.items()))
+
+
+def redispatch_attribution(
+    spans: list[Span],
+) -> dict[tuple[str, str], int]:
+    """Forced re-dispatch counts per (replica, fault channel), from
+    ``service.redispatch`` spans — the trace-side mirror of the audit
+    log's blame trail."""
+    counts: dict[tuple[str, str], int] = {}
+    for span in spans:
+        if span.kind != "service.redispatch":
+            continue
+        key = (
+            str(span.attrs.get("replica", "?")),
+            str(span.attrs.get("channel", "?")),
+        )
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 __all__ = [
     "BucketCost",
     "RecordCost",
+    "ReplicaCost",
     "WORK_KINDS",
     "bucket_attribution",
     "kind_counts",
     "phase_latency_histograms",
     "phase_totals",
+    "redispatch_attribution",
+    "replica_attribution",
     "top_records",
 ]

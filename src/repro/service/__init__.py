@@ -34,6 +34,8 @@ The stack, front to back:
 """
 
 from .admission import AdmissionController, TokenBucket
+from .audit import AuditLog, AuditRecord
+from .audit import read_jsonl as read_audit_jsonl
 from .batcher import Batch, BatchItem, MicroBatcher
 from .cache import ResultCache
 from .cluster import ClusterConfig, ClusterResult, ClusterService, ShardIndex
@@ -58,6 +60,8 @@ from .workload import PATTERNS, Request, WorkloadConfig, generate_workload
 
 __all__ = [
     "AdmissionController",
+    "AuditLog",
+    "AuditRecord",
     "Batch",
     "BatchItem",
     "ClusterConfig",
@@ -84,6 +88,7 @@ __all__ = [
     "WorkloadConfig",
     "generate_workload",
     "key_latency_ms",
+    "read_audit_jsonl",
     "rendezvous_owner",
     "rendezvous_score",
     "routing_key",

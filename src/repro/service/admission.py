@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import DEFAULT_LATENCY_BOUNDS_MS, MetricsRegistry
 
 __all__ = ["AdmissionController", "TokenBucket"]
 
@@ -94,7 +94,12 @@ class AdmissionController:
     ``offer`` classifies one arrival; ``next_release_ms`` /
     ``release_one`` let the server's event loop dequeue waiting
     requests at the exact virtual instants their tokens accrue.
-    Counters land in the shared registry under ``service.admission.*``.
+    Counters land in the shared registry under ``service.admission.*``,
+    and every released request records its queue wait (virtual ms
+    from enqueue to token accrual) in the
+    ``service.admission.queue_wait_ms`` histogram — the front door's
+    own contribution to end-to-end latency, separated from serving
+    time proper.
     """
 
     def __init__(
@@ -128,7 +133,7 @@ class AdmissionController:
             self.metrics.counter("service.admission.admitted").inc()
             return "admit"
         if len(self._queue) < self.queue_limit:
-            self._queue.append(request)
+            self._queue.append((request, now_ms))
             self.metrics.counter("service.admission.queued").inc()
             peak = self.metrics.gauge("service.admission.queue_peak")
             peak.set(max(peak.value, len(self._queue)))
@@ -154,4 +159,8 @@ class AdmissionController:
         taken = self.bucket.try_take(ready)
         assert taken, "token accounting out of sync"
         self.metrics.counter("service.admission.admitted").inc()
-        return self._queue.popleft(), ready
+        request, enqueued_ms = self._queue.popleft()
+        self.metrics.histogram(
+            "service.admission.queue_wait_ms", DEFAULT_LATENCY_BOUNDS_MS
+        ).observe(max(ready - enqueued_ms, 0.0))
+        return request, ready

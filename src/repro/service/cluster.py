@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from .admission import AdmissionController, TokenBucket
+from .audit import AuditLog
 from .batcher import Batch, MicroBatcher
 from .cache import ResultCache
 from .faults import ServiceFaultPlan, ServiceFaults
@@ -304,12 +305,14 @@ class ClusterService:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         faults: ServiceFaultPlan | None = None,
+        audit: AuditLog | None = None,
     ) -> None:
         self.index = index
         self.config = config
         self.cluster = cluster
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.audit = audit
         self._faults = (
             ServiceFaults(faults)
             if faults is not None and faults.active
@@ -417,6 +420,24 @@ class ClusterService:
         self._redispatch: list[tuple[float, int, int, Request]] = []
         self._redispatch_seq = 0
         self._pending_transitions = list(self.fault_events)
+        #: audit-only attribution state: request id -> fault blame
+        #: trail ("replica:channel" per forced re-dispatch) and
+        #: re-dispatch counts. Only touched on the (fault-only)
+        #: re-queue path, never per dispatch: a request's dispatch-
+        #: attempt total is exactly 1 + its re-queue count, because
+        #: every queued re-dispatch is popped into one ``_dispatch``
+        #: call and the first dispatch comes from admission.
+        self._blame: dict[int, list[str]] = {}
+        self._requeues: dict[int, int] = {}
+        #: Compact observation log: one tuple per coalesced group or
+        #: shed. Spans, exemplars, and audit records all expand from
+        #: it in :meth:`_materialize_observations` on first telemetry
+        #: read — the serving loop itself only pays list appends.
+        #: ``None`` when neither tracing nor auditing is on, so the
+        #: unobserved loop stays byte-identical and cost-identical.
+        self._obs_log: list[tuple] | None = (
+            [] if (self.tracer is not None or self.audit is not None) else None
+        )
         ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
         service_cm = (
             self.tracer.span(
@@ -458,6 +479,28 @@ class ClusterService:
                 pool.shutdown(wait=True)
         responses.sort(key=lambda r: r.request_id)
         self._fold_replica_metrics()
+        if self._obs_log is not None:
+            # Hand the run's observation log to whichever telemetry
+            # surface is read first: the tracer's spans, the audit
+            # log's records, and the registry's snapshot all trigger
+            # the same once-only expansion. Captured by value so a
+            # later serve() on this instance cannot disturb it.
+            log, self._obs_log = self._obs_log, None
+            blame, requeues = self._blame, self._requeues
+            expanded = False
+
+            def materialize() -> None:
+                nonlocal expanded
+                if expanded:
+                    return
+                expanded = True
+                self._materialize_observations(log, blame, requeues)
+
+            if self.tracer is not None:
+                self.tracer.add_pending_source(materialize)
+            if self.audit is not None:
+                self.audit.add_pending_source(materialize)
+            self.metrics.add_pending_source(materialize)
         return ClusterResult(
             responses=responses,
             metrics=self.metrics,
@@ -554,16 +597,39 @@ class ClusterService:
         )
         if event.kind == "crash":
             replica.wipe_cache()
+        cause = f"{event.replica_id}:{event.kind}"
         for item in replica.batcher.drain():
-            self._requeue(item.request, event.at_ms)
+            self._requeue(item.request, event.at_ms, causes=(cause,))
 
-    def _requeue(self, request: Request, at_ms: float, attempt: int = 1) -> None:
+    def _requeue(
+        self,
+        request: Request,
+        at_ms: float,
+        attempt: int = 1,
+        causes: tuple[str, ...] = (),
+    ) -> None:
         self._redispatch_seq += 1
         heapq.heappush(
             self._redispatch,
             (at_ms, self._redispatch_seq, attempt, request),
         )
         self.metrics.counter("service.cluster.redispatches").inc()
+        if self._obs_log is not None:
+            rid = request.request_id
+            self._requeues[rid] = self._requeues.get(rid, 0) + 1
+        if causes and self.audit is not None:
+            self._blame.setdefault(request.request_id, []).extend(causes)
+        if causes and self.tracer is not None:
+            for cause in causes:
+                replica_id, _, channel = cause.partition(":")
+                self.tracer.defer_span(
+                    "redispatch",
+                    kind="service.redispatch",
+                    rid=request.request_id,
+                    replica=replica_id,
+                    channel=channel,
+                    at_ms=at_ms,
+                )
 
     def _shed(
         self,
@@ -576,17 +642,10 @@ class ClusterService:
         self.metrics.counter("service.requests.shed").inc()
         if status == 503:
             self.metrics.counter("service.cluster.unavailable_shed").inc()
-        if self.tracer is not None:
-            self.tracer.record_span(
-                "request",
-                kind="service.request",
-                duration_s=0.0,
-                rid=request.request_id,
-                key=request.key,
-                status=status,
-                shed=True,
-            )
         completion = at_ms if at_ms is not None else request.arrival_ms
+        if self._obs_log is not None:
+            # Shed entries are tagged by a None replica slot.
+            self._obs_log.append((None, request, status, source, completion))
         responses.append(
             Response(
                 request_id=request.request_id,
@@ -627,7 +686,12 @@ class ClusterService:
                 self._faults.next_available_at(replica.replica_id, ready_ms)
                 for replica in self.replicas[shard_id]
             )
-            self._requeue(request, wake, attempt + 1)
+            causes = tuple(
+                f"{r.replica_id}:"
+                f"{self._faults.unavailable_channel(r.replica_id, ready_ms) or 'unavailable'}"
+                for r in self.replicas[shard_id]
+            )
+            self._requeue(request, wake, attempt + 1, causes=causes)
             return
         outstanding = [replica.outstanding(ready_ms) for replica in alive]
         choice = self._picker.pick(
@@ -660,9 +724,8 @@ class ClusterService:
         flush_ms = batch.flush_ms
         groups = batch.groups()
         rid = replica.replica_id
-        fail_at = (
-            faults.next_failure_at(rid, flush_ms) if faults else None
-        )
+        failure = faults.next_failure(rid, flush_ms) if faults else None
+        fail_at, fail_channel = failure if failure else (None, "")
         slow = faults.slow_factor(rid) if faults else 1.0
         catchup = faults.catchup_factor(rid, flush_ms) if faults else 1.0
         congestion_ms = (
@@ -729,18 +792,22 @@ class ClusterService:
                 replica.metrics.counter("service.cluster.lost_inflight").inc(
                     len(items)
                 )
+                cause = f"{rid}:{fail_channel}"
                 for item in items:
-                    self._requeue(item.request, fail_at)
+                    self._requeue(item.request, fail_at, causes=(cause,))
                 continue
             status, body = resolved[key]
             if key in fresh:
                 replica.cache.put(key, resolved[key], flush_ms)
             replica.note_completion(completion_ms, len(items))
-            if self.tracer is not None:
-                self._trace_group(
+            if self._obs_log is not None:
+                # One compact entry per coalesced group; spans,
+                # exemplars, and audit records expand from it in
+                # _materialize_observations, off the serving path.
+                self._obs_log.append((
                     replica, key, items, status, completion_ms,
                     key in fresh, latency[key], spike.get(key, 0.0),
-                )
+                ))
             for position, item in enumerate(items):
                 request = item.request
                 if position == 0:
@@ -768,6 +835,101 @@ class ClusterService:
                     )
                 )
 
+    def _materialize_observations(
+        self,
+        log: list[tuple],
+        blame: dict[int, list[str]],
+        requeues: dict[int, int],
+    ) -> None:
+        """Expand one serve run's observation log into spans,
+        exemplars, and audit records.
+
+        Runs exactly once, on the first read of any telemetry
+        surface, off the measured serving path. Entries replay in
+        event order, so every derived artifact is as deterministic as
+        the log itself. Blame trails and re-queue counts are frozen by
+        the time a request's entry exists (a request that produced a
+        response or a shed is never dispatched again), so reading
+        them here matches what eager emission would have recorded;
+        dispatch attempts reconstruct as 1 + the re-queue count for
+        any request that reached a replica or exhausted its attempts
+        (front-door sheds never dispatched, so they report 0).
+        """
+        tracer = self.tracer
+        audit = self.audit
+        version = self.index.version
+        rollup = self.metrics.histogram(
+            "service.latency_ms", LATENCY_BOUNDS_MS
+        )
+        replica_hists: dict[str, object] = {}
+        for entry in log:
+            replica = entry[0]
+            if replica is None:
+                _, request, status, source, completion = entry
+                rid = request.request_id
+                if tracer is not None:
+                    tracer.defer_span(
+                        "request",
+                        kind="service.request",
+                        rid=rid,
+                        key=request.key,
+                        status=status,
+                        shed=True,
+                    )
+                if audit is not None:
+                    if status == 503:
+                        reason = "unavailable"
+                    elif source == "quota":
+                        reason = "quota"
+                    else:
+                        reason = "admission"
+                    audit.emit(
+                        request, status, "shed", reason, source, "", "", "",
+                        requeues.get(rid, 0) + 1 if status == 503 else 0,
+                        tuple(blame.get(rid, ())),
+                        request.arrival_ms, completion, version,
+                    )
+                continue
+            (
+                _, key, items, status, completion_ms,
+                fresh, latency_ms, spike_ms,
+            ) = entry
+            if tracer is not None:
+                self._trace_group(
+                    replica, key, items, status, completion_ms,
+                    fresh, latency_ms, spike_ms,
+                )
+            family = replica_hists.get(replica.replica_id)
+            if family is None:
+                family = self.metrics.histogram(
+                    f"service.replica.{replica.replica_id}"
+                    ".service.latency_ms",
+                    LATENCY_BOUNDS_MS,
+                )
+                replica_hists[replica.replica_id] = family
+            outcome = "ok" if status == 200 else "error"
+            for position, item in enumerate(items):
+                request = item.request
+                rid = request.request_id
+                latency = completion_ms - request.arrival_ms
+                exemplar = f"rid={rid}|replica={replica.replica_id}"
+                rollup.offer_exemplar(latency, exemplar, at_ms=completion_ms)
+                family.offer_exemplar(latency, exemplar, at_ms=completion_ms)
+                if audit is not None:
+                    if position == 0:
+                        source = "index" if fresh else "cache"
+                        coalesce = "carrier" if fresh else "hit"
+                    else:
+                        source = "coalesced"
+                        coalesce = "rider"
+                    audit.emit(
+                        request, status, outcome, "", source, coalesce,
+                        replica.shard_id, replica.replica_id,
+                        requeues.get(rid, 0) + 1,
+                        tuple(blame.get(rid, ())),
+                        item.ready_ms, completion_ms, version,
+                    )
+
     def _trace_group(
         self,
         replica: _Replica,
@@ -780,38 +942,41 @@ class ClusterService:
         spike_ms: float,
     ) -> None:
         """Emit request → index-lookup spans for one coalesced group,
-        tagged with the serving replica and shard."""
+        tagged with the serving replica and shard. All spans are
+        deferred (:meth:`Tracer.defer_span`): the serving loop pays a
+        tuple append per span, and the objects materialize when the
+        trace is read."""
+        tracer = self.tracer
         carrier = items[0].request
-        with self.tracer.span(
+        parent = tracer.defer_span(
             "request",
             kind="service.request",
+            virtual_ms=completion_ms - carrier.arrival_ms,
             rid=carrier.request_id,
             key=key,
             status=status,
             coalesced_riders=len(items) - 1,
             shard=replica.shard_id,
             replica=replica.replica_id,
-        ) as span:
-            span.add_virtual_ms(completion_ms - carrier.arrival_ms)
-            if fresh:
-                lookup = self.tracer.record_span(
-                    "index-lookup",
-                    kind="service.index",
-                    duration_s=0.0,
-                    key=key,
-                    spiked=bool(spike_ms),
-                    replica=replica.replica_id,
-                )
-                lookup.add_virtual_ms(latency_ms)
+        )
+        if fresh:
+            tracer.defer_span(
+                "index-lookup",
+                kind="service.index",
+                parent=parent,
+                virtual_ms=latency_ms,
+                key=key,
+                spiked=bool(spike_ms),
+                replica=replica.replica_id,
+            )
         for item in items[1:]:
-            rider = self.tracer.record_span(
+            tracer.defer_span(
                 "request",
                 kind="service.request",
-                duration_s=0.0,
+                virtual_ms=completion_ms - item.request.arrival_ms,
                 rid=item.request.request_id,
                 key=key,
                 status=status,
                 coalesced=True,
                 replica=replica.replica_id,
             )
-            rider.add_virtual_ms(completion_ms - item.request.arrival_ms)

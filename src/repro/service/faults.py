@@ -276,19 +276,41 @@ class ServiceFaults:
                 return False
         return True
 
-    def next_failure_at(
+    def next_failure(
         self, replica_id: str, after_ms: float
-    ) -> float | None:
-        """The replica's next unavailability onset strictly after ``after_ms``."""
+    ) -> tuple[float, str] | None:
+        """``(onset, channel)`` of the replica's next unavailability
+        strictly after ``after_ms``, or None. The channel name is what
+        the audit log's blame trail records — it is how a lost
+        in-flight request gets attributed to "s0r1's *crash*" rather
+        than just "s0r1"."""
         onsets = [
-            window[0]
-            for window in (
-                self.crash_window(replica_id),
-                self.partition_window(replica_id),
+            (window[0], channel)
+            for channel, window in (
+                ("crash", self.crash_window(replica_id)),
+                ("partition", self.partition_window(replica_id)),
             )
             if window is not None and window[0] > after_ms
         ]
         return min(onsets) if onsets else None
+
+    def next_failure_at(
+        self, replica_id: str, after_ms: float
+    ) -> float | None:
+        """The replica's next unavailability onset strictly after ``after_ms``."""
+        failure = self.next_failure(replica_id, after_ms)
+        return failure[0] if failure is not None else None
+
+    def unavailable_channel(self, replica_id: str, at_ms: float) -> str | None:
+        """Which channel has the replica down at ``at_ms`` (crash wins
+        ties), or None when it is serving."""
+        for channel, window in (
+            ("crash", self.crash_window(replica_id)),
+            ("partition", self.partition_window(replica_id)),
+        ):
+            if window is not None and window[0] <= at_ms < window[1]:
+                return channel
+        return None
 
     def next_available_at(
         self, replica_id: str, at_ms: float

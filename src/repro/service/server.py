@@ -34,10 +34,11 @@ import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import DEFAULT_LATENCY_BOUNDS_MS, MetricsRegistry
 from ..obs.trace import Tracer
 from ..reporting.cdf import ecdf
 from .admission import AdmissionController, TokenBucket
+from .audit import AuditLog
 from .batcher import Batch, MicroBatcher
 from .cache import ResultCache
 from .faults import ServiceFaultPlan, ServiceFaults
@@ -54,11 +55,10 @@ __all__ = [
 
 _UNIT_DENOM = float(2**64)
 
-#: Histogram bounds for virtual response latency, in milliseconds.
-LATENCY_BOUNDS_MS: tuple[float, ...] = (
-    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
-    1_000.0, 2_500.0,
-)
+#: Histogram bounds for virtual response latency, in milliseconds —
+#: the service-tier preset from :mod:`repro.obs.metrics` (dense
+#: through the single-digit-ms range one lookup lives in).
+LATENCY_BOUNDS_MS: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_MS
 
 
 @dataclass(frozen=True)
@@ -307,11 +307,13 @@ class LinkStatusService:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         faults: ServiceFaultPlan | None = None,
+        audit: AuditLog | None = None,
     ) -> None:
         self.index = index
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.audit = audit
         self._faults = (
             ServiceFaults(faults)
             if faults is not None and faults.active
@@ -451,6 +453,12 @@ class LinkStatusService:
                 status=429,
                 shed=True,
             )
+        if self.audit is not None:
+            self.audit.emit(
+                request, 429, "shed", "admission", "shed", "", "", "",
+                0, (), request.arrival_ms, request.arrival_ms,
+                self.index.version,
+            )
         responses.append(
             Response(
                 request_id=request.request_id,
@@ -524,20 +532,39 @@ class LinkStatusService:
                     key, items, status, completion_ms, key in fresh,
                     latency[key], spike.get(key, 0.0),
                 )
+            observed = self.audit is not None or self.tracer is not None
             for position, item in enumerate(items):
                 request = item.request
                 if position == 0:
                     source = "index" if key in fresh else "cache"
+                    role = "carrier" if key in fresh else "hit"
                 else:
                     source = "coalesced"
+                    role = "rider"
                 self.metrics.counter(
                     "service.requests.ok"
                     if status == 200
                     else "service.requests.failed"
                 ).inc()
-                self.metrics.histogram(
+                histogram = self.metrics.histogram(
                     "service.latency_ms", LATENCY_BOUNDS_MS
-                ).observe(completion_ms - request.arrival_ms)
+                )
+                if observed:
+                    histogram.observe(
+                        completion_ms - request.arrival_ms,
+                        exemplar=f"rid={request.request_id}",
+                        at_ms=completion_ms,
+                    )
+                else:
+                    histogram.observe(completion_ms - request.arrival_ms)
+                if self.audit is not None:
+                    self.audit.emit(
+                        request, status,
+                        "ok" if status == 200 else "error", "",
+                        source, role, "", "", 1, (),
+                        item.ready_ms, completion_ms,
+                        self.index.version,
+                    )
                 responses.append(
                     Response(
                         request_id=request.request_id,

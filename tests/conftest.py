@@ -142,3 +142,21 @@ def small_report(small_world):
     from repro.analysis.study import Study
 
     return Study.from_world(small_world).run()
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    """Where diagnostic artifacts (audit logs, traces, metrics
+    snapshots) should be written.
+
+    Defaults to the test's tmp dir. When ``REPRO_TEST_ARTIFACTS`` is
+    set (CI sets it on the tier-2 job), artifacts land there instead,
+    so a failing run's evidence survives as a workflow artifact."""
+    root = os.environ.get("REPRO_TEST_ARTIFACTS")
+    if not root:
+        return tmp_path
+    from pathlib import Path
+
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path

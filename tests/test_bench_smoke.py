@@ -44,7 +44,7 @@ TOY_ENV = {
 #: README quote these; a silent rename breaks the docs pipeline).
 DIGESTS = {
     "BENCH_analysis.json": ("blocks", "headline_blocks"),
-    "BENCH_obs.json": ("overhead_frac", "spans"),
+    "BENCH_obs.json": ("overhead_frac", "spans", "service"),
     "BENCH_stack.json": ("overhead_frac", "stacked_seconds"),
     "BENCH_service.json": ("single_node", "cluster"),
 }
@@ -94,3 +94,9 @@ def test_every_benchmark_runs_at_toy_scale(tmp_path):
     # The committed full-scale digests were not touched.
     cluster = json.loads((tmp_path / "BENCH_service.json").read_text())
     assert cluster["cluster"]["n_requests_per_run"] == 3000
+
+    # The service-tier obs arm ran at toy scale and recorded its keys.
+    obs = json.loads((tmp_path / "BENCH_obs.json").read_text())
+    assert obs["service"]["requests"] == 2000
+    for key in ("off_seconds", "on_seconds", "overhead_frac", "spans"):
+        assert key in obs["service"], f"service arm lost its {key!r} key"

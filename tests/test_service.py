@@ -273,6 +273,12 @@ def test_admission_admit_queue_shed_progression():
     assert verdicts == ["admit", "queue", "queue", "shed"]
     req, ready = controller.release_one()
     assert req.request_id == 1 and ready == pytest.approx(1000.0)
+    # The release booked the queue wait (enqueue at 0, token at 1000).
+    wait = controller.metrics.snapshot()["histograms"][
+        "service.admission.queue_wait_ms"
+    ]
+    assert wait["count"] == 1
+    assert wait["sum"] == pytest.approx(1000.0)
 
 
 def test_shed_set_is_deterministic_and_reproducible(service_index):

@@ -1,0 +1,646 @@
+"""Tests for the service-tier observability suite.
+
+The contracts pinned here:
+
+- **SLO math is exact.** Eligibility and goodness per SLI kind
+  (availability counts a 429 as answered-with-policy, a 503 as
+  unavailability; latency's denominator is answered requests only),
+  error budgets are ``(1 - objective) x eligible`` to the float, and
+  multi-window burn-rate alerts fire exactly where both sliding
+  windows burn past the threshold.
+- **Exemplars are deterministic.** The hash-ranked reservoir keeps
+  the same exemplars regardless of observation order, merges by
+  union-then-trim, and never changes a histogram's numeric surface.
+- **Exposition is byte-stable.** Equal registry state renders to
+  identical Prometheus text and canonical JSON; snapshot diffs are
+  exact instrument-level deltas.
+- **The audit log is part of the determinism contract.** Two
+  same-seed cluster runs write byte-identical JSONL, and turning the
+  whole observability stack on never moves a single wire byte.
+- **Observability off is byte-identical to pre-PR.** The wire-surface
+  hash of the standard test workload is pinned to the value the seed
+  tree produced, for single node, cluster, and cluster-under-chaos.
+- **Chaos attribution names the culprit.** An induced replica crash
+  shows up in ``burn_attribution`` charged to the crashed replica
+  under the ``crash`` channel, and ``scripts/slo_report.py`` prints
+  and exits on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    BurnWindow,
+    Exemplar,
+    Histogram,
+    MetricsRegistry,
+    SloEvent,
+    SloSpec,
+    Tracer,
+    burn_attribution,
+    diff_snapshots,
+    evaluate,
+    events_from_audit,
+    events_from_responses,
+    histogram_quantile,
+    prometheus_text,
+    render_attribution,
+    render_json,
+)
+from repro.service import (
+    AuditLog,
+    ClusterConfig,
+    ClusterService,
+    LinkStatusIndex,
+    LinkStatusService,
+    ServerConfig,
+    ServiceFaultPlan,
+    WorkloadConfig,
+    generate_workload,
+    read_audit_jsonl,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "slo_report", REPO_ROOT / "scripts" / "slo_report.py"
+)
+slo_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(slo_report)
+
+#: sha256 over the request-id-ordered ``to_wire()`` bytes of the
+#: standard test workload (1300-link world seed 42, 2000 requests at
+#: 2500 rps seed 7) — the value the pre-observability tree produces.
+#: Single node, 2x2 cluster, and 2x2 under crash chaos all serve this
+#: exact surface; any observability hook that moves it is a bug.
+PINNED_WIRE_SHA = (
+    "1853075292dbfce5f7688dea8ca3ee23b068c0acadad1d223049d232c11a877c"
+)
+
+#: The chaos schedule the attribution tests induce: two crash windows
+#: (s0r1 at ~91.5ms, s0r0 at ~230.2ms, 300ms each) inside the ~800
+#: virtual ms the standard workload spans — both replicas of shard 0
+#: are down together for part of it.
+CRASH_PLAN = dict(rate=0.5, seed=3, horizon_ms=600.0, duration_ms=300.0)
+
+
+def wire_sha(responses) -> str:
+    digest = hashlib.sha256()
+    for response in sorted(responses, key=lambda r: r.request_id):
+        digest.update(response.to_wire())
+    return digest.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def service_index(small_report) -> LinkStatusIndex:
+    return LinkStatusIndex.build(small_report)
+
+
+@pytest.fixture(scope="module")
+def workload(service_index):
+    return generate_workload(
+        [entry.url for entry in service_index.entries],
+        WorkloadConfig(
+            n_requests=2000,
+            offered_rps=2500.0,
+            seed=7,
+            aggregate_fraction=0.05,
+            unknown_fraction=0.05,
+        ),
+    )
+
+
+# -- SLO math --------------------------------------------------------------------
+
+
+class TestSloSpec:
+    def test_rejects_unknown_kind_and_bad_objectives(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloSpec(name="x", kind="uptime", objective=0.9)
+        with pytest.raises(ValueError, match="objective"):
+            SloSpec(name="x", kind="availability", objective=0.0)
+        with pytest.raises(ValueError, match="objective"):
+            SloSpec(name="x", kind="availability", objective=1.5)
+        with pytest.raises(ValueError, match="threshold"):
+            SloSpec(name="x", kind="latency", objective=0.9)
+
+    def test_sli_denominators_and_goodness(self):
+        ok = SloEvent(at_ms=10.0, status=200, latency_ms=5.0)
+        not_found = SloEvent(at_ms=11.0, status=404, latency_ms=5.0)
+        slow = SloEvent(at_ms=12.0, status=200, latency_ms=500.0)
+        shed = SloEvent(at_ms=13.0, status=429, latency_ms=0.0)
+        gave_up = SloEvent(at_ms=14.0, status=503, latency_ms=200.0)
+
+        availability = SloSpec(name="a", kind="availability", objective=0.99)
+        latency = SloSpec(
+            name="l", kind="latency", objective=0.99, threshold_ms=250.0
+        )
+        shed_rate = SloSpec(name="s", kind="shed_rate", objective=0.95)
+
+        # Availability: every request counts; only 5xx is bad. A 429
+        # is an answered policy decision, a 503 is unavailability.
+        assert all(availability.eligible(e) for e in (ok, shed, gave_up))
+        assert availability.good(ok) and availability.good(shed)
+        assert availability.good(not_found)
+        assert not availability.good(gave_up)
+
+        # Shed rate: every request counts; any shed (429 or 503) is bad.
+        assert shed_rate.good(ok) and shed_rate.good(not_found)
+        assert not shed_rate.good(shed)
+        assert not shed_rate.good(gave_up)
+
+        # Latency: answered requests only; the bar is threshold_ms.
+        assert latency.eligible(ok) and latency.eligible(not_found)
+        assert not latency.eligible(shed)
+        assert not latency.eligible(gave_up)
+        assert latency.good(ok)
+        assert not latency.good(slow)
+
+    def test_budget_arithmetic_is_exact(self):
+        spec = SloSpec(name="a", kind="availability", objective=0.99)
+        events = [
+            SloEvent(at_ms=float(i), status=503 if i < 3 else 200,
+                     latency_ms=1.0)
+            for i in range(200)
+        ]
+        outcome = evaluate(events, (spec,)).outcome("a")
+        assert outcome.eligible == 200
+        assert outcome.bad == 3
+        assert outcome.budget_total == pytest.approx(0.01 * 200)
+        assert outcome.budget_consumed_fraction == pytest.approx(3 / 2.0)
+        assert not outcome.met and outcome.verdict == "violated"
+
+    def test_empty_run_meets_everything(self):
+        report = evaluate(())
+        assert report.met
+        for outcome in report.outcomes:
+            assert outcome.sli == 1.0 and outcome.eligible == 0
+
+    def test_zero_budget_objective_one(self):
+        spec = SloSpec(name="a", kind="availability", objective=1.0)
+        good = [SloEvent(at_ms=1.0, status=200, latency_ms=1.0)]
+        assert evaluate(good, (spec,)).outcome("a").budget_consumed_fraction == 0.0
+        bad = good + [SloEvent(at_ms=2.0, status=503, latency_ms=1.0)]
+        outcome = evaluate(bad, (spec,)).outcome("a")
+        assert outcome.budget_consumed_fraction == 1.0  # reports the count
+        assert not outcome.met
+
+
+class TestBurnAlerts:
+    @staticmethod
+    def run(statuses, spacing_ms=100.0, objective=0.99):
+        events = [
+            SloEvent(at_ms=spacing_ms * (i + 1), status=status,
+                     latency_ms=1.0)
+            for i, status in enumerate(statuses)
+        ]
+        spec = SloSpec(name="a", kind="availability", objective=objective)
+        return evaluate(events, (spec,)).outcome("a")
+
+    def test_clean_run_never_alerts(self):
+        assert self.run([200] * 100).alerts == ()
+
+    def test_fault_burst_fires_page_alert_inside_the_burst(self):
+        # 20 good, 10 bad, 10 good: the page window (5000ms long /
+        # 500ms short, 14.4x) must fire while the burst burns and
+        # nowhere before it.
+        statuses = [200] * 20 + [503] * 10 + [200] * 10
+        outcome = self.run(statuses)
+        pages = [a for a in outcome.alerts if a.window.severity == "page"]
+        assert pages, "burst did not fire the page alert"
+        alert = pages[0]
+        burst_start = 100.0 * 21  # first bad completion instant
+        assert alert.start_ms >= burst_start
+        assert alert.peak_burn >= alert.window.threshold
+        # And the alert interval is deterministic: same events, same
+        # alerts, byte for byte.
+        again = self.run(statuses)
+        assert [a.to_dict() for a in again.alerts] == [
+            a.to_dict() for a in outcome.alerts
+        ]
+
+    def test_slow_trickle_stays_under_the_page_threshold(self):
+        # 1-in-50 failures is a 2x burn against a 1% budget — enough
+        # to eventually violate nothing and never reach 14.4x.
+        statuses = ([200] * 49 + [503]) * 4
+        outcome = self.run(statuses)
+        assert [a for a in outcome.alerts if a.window.severity == "page"] == []
+
+    def test_short_window_gates_stale_long_burn(self):
+        # A long-ago burst keeps the long window hot while the short
+        # window drains: once the short window is clean, the alert
+        # must stop firing (the "are we still burning" gate).
+        statuses = [503] * 10 + [200] * 90
+        outcome = self.run(statuses, spacing_ms=100.0)
+        for alert in outcome.alerts:
+            # No alert interval may extend past the point where the
+            # short window has fully drained of bad events.
+            drained = 100.0 * 10 + alert.window.short_ms
+            assert alert.end_ms <= drained
+
+
+# -- exemplars and quantiles -----------------------------------------------------
+
+
+class TestExemplars:
+    def test_reservoir_is_order_independent(self):
+        observations = [(float(i % 7) + 0.1, f"rid={i}") for i in range(40)]
+        forward = Histogram("h", (1.0, 5.0, 10.0))
+        backward = Histogram("h", (1.0, 5.0, 10.0))
+        for value, key in observations:
+            forward.observe(value, exemplar=key, at_ms=value)
+        for value, key in reversed(observations):
+            backward.observe(value, exemplar=key, at_ms=value)
+        assert forward.exemplars == backward.exemplars
+        assert forward.counts == backward.counts
+
+    def test_capacity_bounds_every_bucket(self):
+        histogram = Histogram("h", (10.0,), exemplar_capacity=3)
+        for i in range(100):
+            histogram.observe(1.0, exemplar=f"rid={i}")
+        (reservoir,) = histogram.exemplars.values()
+        assert len(reservoir) == 3
+        # Kept set = the 3 smallest hash ranks over all 100 offers.
+        expected = sorted(
+            (Exemplar(value=1.0, key=f"rid={i}") for i in range(100)),
+            key=lambda e: (e.rank, e.key, e.value),
+        )[:3]
+        assert reservoir == expected
+
+    def test_merge_unions_then_trims(self):
+        left = Histogram("h", (10.0,))
+        right = Histogram("h", (10.0,))
+        for i in range(10):
+            (left if i % 2 else right).observe(1.0, exemplar=f"rid={i}")
+        direct = Histogram("h", (10.0,))
+        for i in range(10):
+            direct.observe(1.0, exemplar=f"rid={i}")
+        left.merge(right)
+        assert left.exemplars == direct.exemplars
+
+    def test_exemplars_never_move_the_numeric_surface(self):
+        plain = Histogram("h", DEFAULT_LATENCY_BOUNDS_MS)
+        tagged = Histogram("h", DEFAULT_LATENCY_BOUNDS_MS)
+        for i in range(50):
+            value = float(i)
+            plain.observe(value)
+            tagged.observe(value, exemplar=f"rid={i}", at_ms=value)
+        assert plain.counts == tagged.counts
+        assert plain.sum == tagged.sum
+        assert plain.quantile(0.99) == tagged.quantile(0.99)
+
+    def test_snapshot_only_carries_exemplars_when_present(self):
+        registry = MetricsRegistry()
+        registry.histogram("plain", (1.0,)).observe(0.5)
+        registry.histogram("tagged", (1.0,)).observe(0.5, exemplar="rid=1")
+        snapshot = registry.snapshot()
+        assert "exemplars" not in snapshot["histograms"]["plain"]
+        assert snapshot["histograms"]["tagged"]["exemplars"]["0"][0]["key"] == "rid=1"
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_the_bucket(self):
+        # 10 observations in [0, 10): the median estimate lands at the
+        # ceil-rank point linearly interpolated across the bucket.
+        bounds = (10.0, 20.0)
+        counts = (10, 0, 0)
+        assert histogram_quantile(bounds, counts, 0.5) == pytest.approx(5.0)
+        assert histogram_quantile(bounds, counts, 1.0) == pytest.approx(10.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        bounds = (10.0,)
+        counts = (0, 5)
+        assert histogram_quantile(bounds, counts, 0.99) == 10.0
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile((1.0,), (0, 0), 0.5) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            histogram_quantile((1.0,), (1, 0), 1.5)
+
+
+# -- exposition ------------------------------------------------------------------
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.requests.ok").inc(7)
+    registry.gauge("service.cluster.shards").set(2)
+    histogram = registry.histogram("service.latency_ms", (1.0, 10.0))
+    histogram.observe(0.5, exemplar="rid=3", at_ms=100.0)
+    histogram.observe(5.0)
+    histogram.observe(50.0)
+    return registry
+
+
+class TestExport:
+    def test_prometheus_text_shape(self):
+        text = prometheus_text(_sample_registry())
+        assert "# TYPE service_requests_ok_total counter" in text
+        assert "service_requests_ok_total 7" in text
+        assert "service_cluster_shards 2" in text
+        # Cumulative buckets with the +Inf terminator.
+        assert 'service_latency_ms_bucket{le="1"} 1' in text
+        assert 'service_latency_ms_bucket{le="10"} 2' in text
+        assert 'service_latency_ms_bucket{le="+Inf"} 3' in text
+        assert "service_latency_ms_count 3" in text
+        # The exemplar annotation ties the bucket to the request.
+        assert '# {key="rid=3",at_ms="100"} 0.5' in text
+        assert text.endswith("# EOF\n")
+
+    def test_prometheus_text_is_byte_stable(self):
+        assert prometheus_text(_sample_registry()) == prometheus_text(
+            _sample_registry()
+        )
+        assert render_json(_sample_registry()) == render_json(
+            _sample_registry()
+        )
+
+    def test_exemplars_can_be_suppressed(self):
+        text = prometheus_text(_sample_registry(), exemplars=False)
+        assert "rid=3" not in text
+
+    def test_diff_reports_only_what_moved(self):
+        before = _sample_registry().snapshot()
+        after_registry = _sample_registry()
+        after_registry.counter("service.requests.ok").inc(3)
+        after_registry.gauge("service.cluster.shards").set(4)
+        after_registry.histogram("service.latency_ms", (1.0, 10.0)).observe(
+            2.0
+        )
+        diff = diff_snapshots(before, after_registry.snapshot())
+        assert diff["counters"] == {"service.requests.ok": 3}
+        assert diff["gauges"] == {"service.cluster.shards": [2, 4]}
+        assert diff["histograms"]["service.latency_ms"]["count"] == 1
+        assert diff["histograms"]["service.latency_ms"]["counts"] == [0, 1, 0]
+
+    def test_diff_of_equal_snapshots_is_empty(self):
+        diff = diff_snapshots(
+            _sample_registry().snapshot(), _sample_registry().snapshot()
+        )
+        assert diff == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_diff_flags_changed_bounds(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", (2.0,)).observe(0.5)
+        diff = diff_snapshots(a.snapshot(), b.snapshot())
+        assert "bounds_changed" in diff["histograms"]["h"]
+
+
+# -- the serving integration -----------------------------------------------------
+
+
+class TestWireSurfacePinned:
+    """Observability off = byte-identical to the pre-PR tree."""
+
+    def test_single_node(self, service_index, workload):
+        result = LinkStatusService(service_index, ServerConfig()).serve(
+            workload
+        )
+        assert wire_sha(result.responses) == PINNED_WIRE_SHA
+
+    def test_cluster(self, service_index, workload):
+        result = ClusterService(
+            service_index,
+            ServerConfig(),
+            ClusterConfig(n_shards=2, replicas_per_shard=2),
+        ).serve(workload)
+        assert wire_sha(result.responses) == PINNED_WIRE_SHA
+
+    def test_cluster_under_chaos(self, service_index, workload):
+        result = ClusterService(
+            service_index,
+            ServerConfig(),
+            ClusterConfig(n_shards=2, replicas_per_shard=2),
+            faults=ServiceFaultPlan.crashes(**CRASH_PLAN),
+        ).serve(workload)
+        assert wire_sha(result.responses) == PINNED_WIRE_SHA
+
+    def test_full_observability_moves_no_wire_byte(
+        self, service_index, workload
+    ):
+        result = ClusterService(
+            service_index,
+            ServerConfig(),
+            ClusterConfig(n_shards=2, replicas_per_shard=2),
+            faults=ServiceFaultPlan.crashes(**CRASH_PLAN),
+            tracer=Tracer(),
+            audit=AuditLog(),
+        ).serve(workload)
+        assert wire_sha(result.responses) == PINNED_WIRE_SHA
+
+
+class TestAuditLog:
+    @staticmethod
+    def chaos_run(service_index, workload):
+        audit = AuditLog()
+        service = ClusterService(
+            service_index,
+            ServerConfig(),
+            ClusterConfig(n_shards=2, replicas_per_shard=2),
+            faults=ServiceFaultPlan.crashes(**CRASH_PLAN),
+            audit=audit,
+        )
+        result = service.serve(workload)
+        return result, audit
+
+    def test_audit_jsonl_is_byte_deterministic(
+        self, service_index, workload
+    ):
+        _, first = self.chaos_run(service_index, workload)
+        _, second = self.chaos_run(service_index, workload)
+        assert first.lines() == second.lines()
+        assert len(first) == len(workload)
+
+    def test_audit_covers_every_request_exactly_once(
+        self, service_index, workload
+    ):
+        result, audit = self.chaos_run(service_index, workload)
+        assert sorted(r.request_id for r in audit.records) == sorted(
+            r.request_id for r in result.responses
+        )
+        by_id = {r.request_id: r for r in audit.records}
+        for response in result.responses:
+            record = by_id[response.request_id]
+            assert record.status == response.status
+            assert record.completion_ms == response.completion_ms
+
+    def test_shed_reasons_and_roles(self, service_index, workload):
+        _, audit = self.chaos_run(service_index, workload)
+        outcomes = {r.outcome for r in audit.records}
+        assert "shed" in outcomes and "ok" in outcomes
+        for record in audit.records:
+            if record.status == 429:
+                assert record.reason == "admission"
+                assert record.coalesce == "" and record.replica == ""
+            elif record.status == 503:
+                assert record.reason == "unavailable"
+            else:
+                assert record.reason == ""
+                assert record.coalesce in ("carrier", "hit", "rider")
+                assert record.replica and record.shard
+                assert record.attempts >= 1
+
+    def test_blame_trail_round_trips_through_jsonl(
+        self, service_index, workload, tmp_path
+    ):
+        _, audit = self.chaos_run(service_index, workload)
+        blamed = [r for r in audit.records if r.redispatches]
+        assert blamed, "crash plan induced no re-dispatches"
+        path = tmp_path / "audit.jsonl"
+        assert audit.write_jsonl(path) == len(audit)
+        records = read_audit_jsonl(path)
+        assert len(records) == len(audit)
+        loaded = {r["rid"]: r for r in records}
+        for record in blamed:
+            assert loaded[record.request_id]["redispatches"] == list(
+                record.redispatches
+            )
+
+    def test_single_node_audit_is_deterministic(
+        self, service_index, workload
+    ):
+        def run():
+            audit = AuditLog()
+            LinkStatusService(
+                service_index, ServerConfig(), audit=audit
+            ).serve(workload)
+            return audit.lines()
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) == len(workload)
+
+
+class TestChaosAttribution:
+    """The acceptance contract: an induced crash is attributed to the
+    crashed replica and the ``crash`` fault channel."""
+
+    @pytest.fixture(scope="class")
+    def graded(self, service_index, workload):
+        audit = AuditLog()
+        tracer = Tracer()
+        service = ClusterService(
+            service_index,
+            ServerConfig(),
+            ClusterConfig(n_shards=2, replicas_per_shard=2),
+            faults=ServiceFaultPlan.crashes(**CRASH_PLAN),
+            audit=audit,
+            tracer=tracer,
+        )
+        result = service.serve(workload)
+        records = [json.loads(line) for line in audit.lines()]
+        # A latency bar tight enough that crash-delayed requests are
+        # bad SLI events (the crash windows add ~100-200 virtual ms).
+        specs = (
+            SloSpec(name="availability", kind="availability", objective=0.999),
+            SloSpec(
+                name="latency-p99", kind="latency", objective=0.99,
+                threshold_ms=150.0,
+            ),
+            SloSpec(name="shed-rate", kind="shed_rate", objective=0.95),
+        )
+        return result, audit, tracer, records, specs
+
+    def test_crash_is_charged_to_the_crashed_replicas(self, graded):
+        result, _, _, records, specs = graded
+        table = burn_attribution(records, specs)
+        crashed = {
+            event.replica_id
+            for event in result.fault_events
+            if event.kind == "crash"
+        }
+        assert crashed == {"s0r0", "s0r1"}
+        charged = {
+            replica for (replica, channel) in table if channel == "crash"
+        }
+        assert charged == crashed
+        # The crash rows carry real traffic and real burned budget.
+        for replica in crashed:
+            row = table[(replica, "crash")]
+            assert row["requests"] > 0
+            assert row["latency-p99_bad"] > 0
+        # No healthy-shard replica is ever blamed for a fault.
+        assert not any(
+            replica.startswith("s1") and channel == "crash"
+            for (replica, channel) in table
+        )
+
+    def test_verdict_and_rendering(self, graded):
+        _, _, _, records, specs = graded
+        report = evaluate(events_from_audit(records), specs)
+        assert not report.met
+        assert report.outcome("latency-p99").verdict == "violated"
+        text = render_attribution(burn_attribution(records, specs), specs)
+        assert "crash" in text and "s0r0" in text and "s0r1" in text
+
+    def test_evaluation_is_deterministic(self, graded):
+        _, _, _, records, specs = graded
+        first = evaluate(events_from_audit(records), specs).to_dict()
+        second = evaluate(events_from_audit(records), specs).to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_events_from_audit_match_events_from_responses(self, graded):
+        result, _, _, records, _ = graded
+        assert events_from_audit(records) == events_from_responses(
+            result.responses
+        )
+
+    def test_slo_report_script_attributes_the_crash(
+        self, graded, artifact_dir, capsys
+    ):
+        result, audit, tracer, _, _ = graded
+        audit_path = artifact_dir / "slo-audit.jsonl"
+        trace_path = artifact_dir / "slo-trace.jsonl"
+        metrics_path = artifact_dir / "slo-metrics.json"
+        json_path = artifact_dir / "slo-report.json"
+        audit.write_jsonl(audit_path)
+        tracer.write_jsonl(trace_path)
+        metrics_path.write_text(
+            render_json(result.metrics), encoding="utf-8"
+        )
+        code = slo_report.main(
+            [
+                str(audit_path),
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+                "--latency-threshold-ms", "150",
+                "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1  # the tight latency SLO is violated
+        assert "SLO verdicts:" in out
+        assert "violated" in out
+        # The burn table and the trace join both name the crash.
+        assert "s0r0" in out and "crash" in out
+        # Per-replica quantiles came from the prefixed families.
+        assert "per-replica latency quantiles" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["met"] is False
+        assert any(
+            row["channel"] == "crash" for row in payload["attribution"]
+        )
+
+    def test_prometheus_exposition_of_the_fleet_registry(self, graded):
+        result, _, _, _, _ = graded
+        text = prometheus_text(result.metrics)
+        # Per-replica prefixed families render as their own sanitized
+        # metric names next to the fleet rollup.
+        assert "# TYPE service_latency_ms histogram" in text
+        assert "service_replica_s0r0_service_latency_ms_bucket" in text
+        # Exemplars link buckets back to request/replica identities.
+        assert "rid=" in text and "replica=" in text
+        assert prometheus_text(result.metrics) == text  # byte-stable

@@ -187,6 +187,42 @@ class TestShardWall:
         with pytest.raises(ValueError, match="bounds"):
             fleet.merge_prefixed(other, "service.replica.r.")
 
+    def test_merge_prefixed_empty_source_is_a_no_op(self):
+        fleet = MetricsRegistry()
+        fleet.counter("c").inc(2)
+        before = fleet.snapshot()
+        fleet.merge_prefixed(MetricsRegistry(), "service.replica.r.")
+        assert fleet.snapshot() == before
+
+    def test_merge_prefixed_repeated_prefix_folds_additively(self):
+        # Folding the same source twice under one prefix adds counters
+        # and histograms (and re-takes gauges) — the same contract as
+        # merge(), just namespaced.
+        fleet = MetricsRegistry()
+        source = MetricsRegistry()
+        source.counter("lookups").inc(3)
+        source.gauge("depth").set(7)
+        source.histogram("lat", (1.0,)).observe(0.5)
+        fleet.merge_prefixed(source, "r.")
+        fleet.merge_prefixed(source, "r.")
+        assert fleet.counter("r.lookups").int_value == 6
+        assert fleet.gauge("r.depth").value == 7
+        assert fleet.histogram("r.lat", (1.0,)).count == 2
+
+    def test_merge_prefixed_nested_prefixes_compose(self):
+        # A registry that already holds prefixed families can itself
+        # be folded under an outer prefix (e.g. per-cell rollups of
+        # per-replica families); names concatenate, values still add.
+        replica = MetricsRegistry()
+        replica.counter("lookups").inc(4)
+        cell = MetricsRegistry()
+        cell.merge_prefixed(replica, "replica.s0r0.")
+        region = MetricsRegistry()
+        region.merge_prefixed(cell, "cell.a.")
+        assert (
+            region.counter("cell.a.replica.s0r0.lookups").int_value == 4
+        )
+
 
 class TestSummaryFormatting:
     def test_quiet_run_renders_zeroes_not_errors(self):

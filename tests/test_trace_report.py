@@ -106,3 +106,106 @@ def test_main_rejects_empty_trace(tmp_path, capsys):
     empty.write_text("")
     assert trace_report.main([str(empty)]) == 1
     assert "no spans" in capsys.readouterr().out
+
+
+# -- cluster traces --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster_trace(small_report, tmp_path_factory):
+    """A chaos-clustered serve run's span log: (result, spans, path)."""
+    from repro.obs import Tracer
+    from repro.service import (
+        ClusterConfig,
+        ClusterService,
+        LinkStatusIndex,
+        ServerConfig,
+        ServiceFaultPlan,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    index = LinkStatusIndex.build(small_report)
+    workload = generate_workload(
+        [entry.url for entry in index.entries],
+        WorkloadConfig(
+            n_requests=1200, offered_rps=2500.0, seed=7,
+            aggregate_fraction=0.05, unknown_fraction=0.05,
+        ),
+    )
+    tracer = Tracer()
+    result = ClusterService(
+        index,
+        ServerConfig(),
+        ClusterConfig(n_shards=2, replicas_per_shard=2),
+        faults=ServiceFaultPlan.crashes(
+            rate=0.5, seed=3, horizon_ms=600.0, duration_ms=300.0
+        ),
+        tracer=tracer,
+    ).serve(workload)
+    path = tmp_path_factory.mktemp("cluster-trace") / "serve.jsonl"
+    tracer.write_jsonl(path)
+    return result, read_jsonl(path), path
+
+
+def test_replica_attribution_covers_every_response(cluster_trace):
+    from repro.obs import replica_attribution
+
+    result, spans, _ = cluster_trace
+    replicas = replica_attribution(spans)
+    # Every replica that served traffic appears with its shard; the
+    # front door aggregates the sheds.
+    total = sum(cost.requests for cost in replicas.values())
+    assert total == len(result.responses)
+    sheds = replicas.get("(front door)")
+    shed_count = sum(
+        1 for r in result.responses if r.status in (429, 503)
+    )
+    assert (sheds.sheds if sheds else 0) == shed_count
+    for name, cost in replicas.items():
+        if name == "(front door)":
+            continue
+        assert cost.shard in ("shard-0", "shard-1")
+        assert cost.carriers + cost.riders == cost.requests
+
+
+def test_redispatch_attribution_names_the_crashed_replicas(cluster_trace):
+    from repro.obs import redispatch_attribution
+
+    result, spans, _ = cluster_trace
+    redispatches = redispatch_attribution(spans)
+    assert redispatches, "crash plan induced no re-dispatch spans"
+    assert all(channel == "crash" for (_, channel) in redispatches)
+    crashed = {
+        event.replica_id
+        for event in result.fault_events
+        if event.kind == "crash"
+    }
+    assert {replica for (replica, _) in redispatches} <= crashed
+    # Every re-dispatch charges at least one blame span (an
+    # all-replicas-down requeue blames each downed replica, so the
+    # span count can exceed the re-dispatch counter, never trail it).
+    assert sum(redispatches.values()) >= result.redispatches
+
+
+def test_single_node_trace_has_no_cluster_section(traced_run):
+    from repro.obs import replica_attribution
+
+    _, spans, _ = traced_run
+    assert replica_attribution(spans) == {}
+
+
+def test_main_renders_cluster_section(cluster_trace, capsys):
+    _, _, path = cluster_trace
+    assert trace_report.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "cluster replicas (from service.request spans):" in out
+    assert "forced re-dispatches by (replica, fault channel):" in out
+    assert "s0r0" in out and "crash" in out
+
+
+def test_main_single_node_omits_cluster_section(traced_run, capsys):
+    _, _, path = traced_run
+    assert trace_report.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "cluster replicas" not in out
