@@ -12,6 +12,11 @@ Subcommands:
                     [--metrics-json P] [--prometheus P] [--slo]   ... and graded SLOs
     python -m repro query (--url U | --domain D |     one query against the index
                            --quantile M:Q | --bucket-counts) [--shards N]
+    python -m repro live [--generations G]            drive the world forward,
+                    [--interval-days D]               ... delta-building an index
+                    [--reprobe-days R]                ... generation per interval
+                    [--requests M] [--json P]         ... and replay traffic
+                                                      ... across the swaps
 
 Also installed as the ``repro`` console script.
 """
@@ -285,6 +290,107 @@ def _cmd_query(args) -> int:
     return 0 if status == 200 else 1
 
 
+def _cmd_live(args) -> int:
+    from .clock import SimTime
+    from .live import GenerationPublisher, IncrementalStudy, ReprobePolicy, WorldDriver
+    from .obs import evaluate
+    from .obs.slo import MS_PER_DAY, SloSpec, events_from_generations
+    from .service import LinkStatusService, WorkloadConfig, generate_workload
+
+    world = _build_world(args)
+    driver = WorldDriver(world)
+    engine = IncrementalStudy(
+        world, seed=args.seed, policy=ReprobePolicy(every_days=args.reprobe_days)
+    )
+    publisher = GenerationPublisher(retain=args.generations)
+    base = world.study_time.days
+    baseline_dead = None
+    for ordinal in range(args.generations):
+        at = SimTime(base + ordinal * args.interval_days)
+        if ordinal > 0:
+            # The world moves between builds: a rolling bot sweep, and
+            # every other interval an editor deletes a dead reference.
+            driver.sweep(SimTime(at.days - 0.6 * args.interval_days))
+            if ordinal % 2 == 0 and driver.permadead_refs():
+                title, url = driver.permadead_refs()[0]
+                driver.remove_link(
+                    title, url, SimTime(at.days - 0.3 * args.interval_days)
+                )
+        result = engine.build(at)
+        generation = publisher.publish(result)
+        dead_rate = 1.0 - result.report.frac_genuinely_alive
+        if baseline_dead is None:
+            baseline_dead = dead_rate
+        print(
+            f"{generation.summary()}  dead-rate {100 * dead_rate:.2f}% "
+            f"({100 * (dead_rate - baseline_dead):+.2f}% vs gen 1)"
+        )
+
+    freshness = evaluate(
+        events_from_generations(publisher.generations),
+        (
+            SloSpec(
+                name="index-freshness",
+                kind="latency",
+                objective=0.99,
+                threshold_ms=2.0 * args.interval_days * MS_PER_DAY,
+            ),
+        ),
+    )
+    print(f"freshness SLO (2x interval budget): "
+          f"{'met' if freshness.met else 'violated'}")
+
+    payload = {
+        "generations": [
+            {
+                "seq": g.seq,
+                "version": g.version,
+                "dirty": g.dirty_size,
+                "events": g.events_consumed,
+                "lag_days": g.lag_days,
+                "rebuild_ms": round(g.rebuild_wall_ms, 2),
+            }
+            for g in publisher.generations
+        ],
+        "retired": publisher.retired,
+        "freshness_met": freshness.met,
+    }
+
+    if args.requests:
+        generations = publisher.generations
+        first = generations[0]
+        workload = generate_workload(
+            [entry.url for entry in first.index.entries],
+            WorkloadConfig(n_requests=args.requests, seed=args.seed),
+        )
+        horizon = max(r.arrival_ms for r in workload)
+        swaps = [
+            (horizon * (i + 1) / len(generations), g.index)
+            for i, g in enumerate(generations[1:])
+        ]
+        result = LinkStatusService(first.index).serve(workload, swaps=swaps)
+        served: dict[str, int] = {}
+        for response in result.responses:
+            served[response.index_version] = served.get(
+                response.index_version, 0
+            ) + 1
+        print()
+        print(result.summary())
+        print(
+            f"zero-downtime swaps: {len(swaps)}; served by generation: "
+            + ", ".join(f"{v}={n}" for v, n in served.items())
+        )
+        payload["serve"] = result.as_dict()
+        payload["served_by_generation"] = served
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -301,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
         ("medic", _cmd_medic),
         ("serve", _cmd_serve),
         ("query", _cmd_query),
+        ("live", _cmd_live),
     ):
         cmd = sub.add_parser(name)
         cmd.add_argument("--links", type=int, default=3000)
@@ -404,6 +511,40 @@ def main(argv: list[str] | None = None) -> int:
                     "grade the run against the stock service SLOs "
                     "(exit 1 on violation)"
                 ),
+            )
+        if name == "live":
+            cmd.add_argument(
+                "--generations",
+                type=int,
+                default=4,
+                help="index generations to build (gen 1 is the batch study)",
+            )
+            cmd.add_argument(
+                "--interval-days",
+                type=float,
+                default=7.0,
+                help="sim days between consecutive builds",
+            )
+            cmd.add_argument(
+                "--reprobe-days",
+                type=float,
+                default=30.0,
+                help="quiescent-URL re-probe epoch length",
+            )
+            cmd.add_argument(
+                "--requests",
+                type=int,
+                default=2000,
+                help=(
+                    "replay this many requests across the generation "
+                    "swaps (0 skips the serving replay)"
+                ),
+            )
+            cmd.add_argument(
+                "--json",
+                metavar="PATH",
+                default=None,
+                help="also write the run digest as JSON",
             )
         if name == "query":
             what = cmd.add_mutually_exclusive_group(required=True)

@@ -72,7 +72,7 @@ class Soft404Detector:
         return self.check_many([url], at)[0]
 
     def check_many(
-        self, urls: list[str], at: SimTime
+        self, urls: list[str], at: SimTime, ats: list[SimTime] | None = None
     ) -> list[Soft404Verdict]:
         """Probe every URL and return one verdict each, in order.
 
@@ -81,12 +81,20 @@ class Soft404Detector:
         order, which is what keeps seeded runs reproducible — but the
         shingle similarities of all undecided pairs are computed by
         one columnar batch kernel instead of a per-record loop.
+
+        ``ats`` gives each URL its own probe instant (the live
+        pipeline re-checks records at per-record times); the RNG draw
+        order is unchanged, so the sibling-probe URLs depend only on
+        the list order, never on the instants.
         """
+        times = ats if ats is not None else [at] * len(urls)
+        if len(times) != len(urls):
+            raise ValueError("ats must parallel urls")
         fetched = []
-        for url in urls:
-            result = self._fetcher.fetch(url, at)
+        for url, when in zip(urls, times):
+            result = self._fetcher.fetch(url, when)
             probe = self._factory.random_leaf_probe(parse_url(url))
-            probe_result = self._fetcher.fetch(probe, at)
+            probe_result = self._fetcher.fetch(probe, when)
             fetched.append((url, probe, result, probe_result))
 
         verdicts: list[Soft404Verdict | None] = [None] * len(fetched)

@@ -49,6 +49,7 @@ __all__ = [
     "MAX_REDIRECT_COPIES_PER_LINK",
     "Study",
     "StudyReport",
+    "assemble_report",
 ]
 
 
@@ -199,6 +200,15 @@ class Study:
     at: SimTime
     rngs: RngRegistry = field(default_factory=lambda: RngRegistry(20220315))
     retry_policy: RetryPolicy | None = None
+    #: Per-URL probe instants (URL-keyed; unlisted records probe at
+    #: ``at``). The live pipeline's from-scratch reference: a study
+    #: configured with the probe-time map computed from the full event
+    #: log, which incremental maintenance must reproduce byte-for-byte.
+    at_overrides: dict[str, SimTime] = field(default_factory=dict)
+    #: Freeze each record's CDX horizon at its probe instant (see
+    #: :class:`~repro.archive.cdx.AsOfCdx`). Off for the classic batch
+    #: study, on for the live posture.
+    bound_archive: bool = False
 
     @classmethod
     def from_world(
@@ -294,60 +304,23 @@ class Study:
         # §3 probe + §4 census + §4.2 validation: the sharded stage.
         with stats.phase("probe+census", tracer=tracer):
             stage = executor.execute(
-                self.records, self.fetcher, self.cdx, self.at, stats, tracer
+                self.records, self.fetcher, self.cdx, self.at, stats, tracer,
+                at_overrides=self.at_overrides or None,
+                bound_archive=self.bound_archive,
             )
         stats.shards = stage.shards
-        probes = [outcome.probe for outcome in stage.outcomes]
-        counts = outcome_counts(probes)
 
-        # §3: soft-404 screening of the 200s. Stays in the parent —
-        # the detector consumes a sequential RNG stream, so probing in
-        # record order is what keeps seeded runs reproducible; the
-        # shingle similarities of the whole population are computed by
-        # one columnar batch kernel.
-        detector = Soft404Detector(stage.fetcher, self.rngs.stream("soft404"))
-        with stats.phase("soft404", tracer=tracer):
-            screened = [probe for probe in probes if probe.returned_200]
-            verdicts: list[Soft404Verdict] = detector.check_many(
-                [probe.record.url for probe in screened], self.at
-            )
-            alive_probes: list[LiveProbe] = [
-                probe
-                for probe, verdict in zip(screened, verdicts)
-                if verdict.genuinely_alive
-            ]
-        stats.registry.counter("analysis.soft404.batched").inc(len(screened))
-
-        # §4: archived-copy census splits.
-        censuses = [outcome.census for outcome in stage.outcomes]
-        pre200 = [c for c in censuses if c.has_pre_marking_200]
-        rest = [c for c in censuses if not c.has_pre_marking_200]
-        rest_with_copy = [c for c in rest if c.has_any_copy]
-        never_archived = [c for c in rest if not c.has_any_copy]
-        rest_with_3xx = [c for c in rest if c.has_pre_marking_3xx]
-        n_valid_redirect = sum(
-            1 for o in stage.outcomes if o.has_valid_redirect_copy
+        report = assemble_report(
+            dataset=dataset,
+            outcomes=list(stage.outcomes),
+            fetcher=stage.fetcher,
+            cdx=stage.cdx,
+            at=self.at,
+            rngs=self.rngs,
+            stats=stats,
+            tracer=tracer,
+            at_overrides=self.at_overrides or None,
         )
-
-        # §3's single-check justification (needs the census).
-        with_post = [c for c in censuses if c.first_post_marking is not None]
-        n_post_erroneous = sum(
-            1
-            for o in stage.outcomes
-            if o.first_post_marking_erroneous
-        )
-
-        # §5.1 temporal + §5.2 spatial/typos, over the seeded caches.
-        with stats.phase("temporal", tracer=tracer):
-            temporal = temporal_analysis(rest_with_copy, stage.cdx)
-        never_records = [c.record for c in never_archived]
-        with stats.phase("spatial", tracer=tracer):
-            spatial = spatial_analysis(never_records, stage.cdx)
-        with stats.phase("typos", tracer=tracer):
-            typos = find_typos(never_records, stage.cdx)
-
-        stats.add_fetch_counts(stage.fetcher.hits, stage.fetcher.misses)
-        stats.add_cdx_counts(stage.cdx.hits, stage.cdx.misses)
 
         # Parent-side retry accounting. In serial mode the study's own
         # fetcher did all the work; in parallel mode it only served the
@@ -366,27 +339,111 @@ class Study:
             cdx_giveups=cdx_rc.giveups,
             backoff_ms=fetch_rc.backoff_ms + cdx_rc.backoff_ms,
         )
+        return report
 
-        return StudyReport(
-            dataset=dataset,
-            probes=probes,
-            counts=counts,
-            soft404_verdicts=verdicts,
-            censuses=censuses,
-            temporal=temporal,
-            spatial=spatial,
-            typos=typos,
-            n_final_200=sum(1 for p in probes if p.returned_200),
-            n_genuinely_alive=len(alive_probes),
-            n_alive_via_redirect=sum(1 for p in alive_probes if p.redirected),
-            n_with_post_marking_copy=len(with_post),
-            n_first_post_marking_erroneous=n_post_erroneous,
-            n_pre_marking_200=len(pre200),
-            n_rest=len(rest),
-            n_rest_with_any_copy=len(rest_with_copy),
-            n_never_archived=len(never_archived),
-            n_rest_with_pre_3xx=len(rest_with_3xx),
-            n_valid_redirect_copy=n_valid_redirect,
-            stats=stats,
-            outcomes=tuple(stage.outcomes),
+
+def assemble_report(
+    *,
+    dataset: Dataset,
+    outcomes: list,
+    fetcher,
+    cdx,
+    at: SimTime,
+    rngs: RngRegistry,
+    stats: StudyStats,
+    tracer: Tracer | None = None,
+    at_overrides: dict[str, SimTime] | None = None,
+) -> StudyReport:
+    """Run the parent phases over per-record outcomes and build the
+    report.
+
+    This is everything in a study after the sharded stage: §3 soft-404
+    screening (sequential RNG stream, record order), the §4 census
+    splits, and the §5 temporal/spatial/typo aggregations. Split out
+    so the live pipeline can fold cached outcomes for clean records
+    together with freshly executed dirty ones and still assemble a
+    report byte-identical to a from-scratch run — the parent phases
+    are aggregations, cheap to recompute in full each generation.
+
+    ``fetcher`` / ``cdx`` are the parent-side memo backends (the
+    stage's, or freshly seeded equivalents); ``at_overrides`` hands
+    the soft-404 detector each record's probe instant.
+    """
+    overrides = at_overrides or {}
+    probes = [outcome.probe for outcome in outcomes]
+    counts = outcome_counts(probes)
+
+    # §3: soft-404 screening of the 200s. Stays in the parent —
+    # the detector consumes a sequential RNG stream, so probing in
+    # record order is what keeps seeded runs reproducible; the
+    # shingle similarities of the whole population are computed by
+    # one columnar batch kernel.
+    detector = Soft404Detector(fetcher, rngs.stream("soft404"))
+    with stats.phase("soft404", tracer=tracer):
+        screened = [probe for probe in probes if probe.returned_200]
+        verdicts: list[Soft404Verdict] = detector.check_many(
+            [probe.record.url for probe in screened],
+            at,
+            ats=(
+                [overrides.get(p.record.url, at) for p in screened]
+                if overrides
+                else None
+            ),
         )
+        alive_probes: list[LiveProbe] = [
+            probe
+            for probe, verdict in zip(screened, verdicts)
+            if verdict.genuinely_alive
+        ]
+    stats.registry.counter("analysis.soft404.batched").inc(len(screened))
+
+    # §4: archived-copy census splits.
+    censuses = [outcome.census for outcome in outcomes]
+    pre200 = [c for c in censuses if c.has_pre_marking_200]
+    rest = [c for c in censuses if not c.has_pre_marking_200]
+    rest_with_copy = [c for c in rest if c.has_any_copy]
+    never_archived = [c for c in rest if not c.has_any_copy]
+    rest_with_3xx = [c for c in rest if c.has_pre_marking_3xx]
+    n_valid_redirect = sum(1 for o in outcomes if o.has_valid_redirect_copy)
+
+    # §3's single-check justification (needs the census).
+    with_post = [c for c in censuses if c.first_post_marking is not None]
+    n_post_erroneous = sum(
+        1 for o in outcomes if o.first_post_marking_erroneous
+    )
+
+    # §5.1 temporal + §5.2 spatial/typos, over the seeded caches.
+    with stats.phase("temporal", tracer=tracer):
+        temporal = temporal_analysis(rest_with_copy, cdx)
+    never_records = [c.record for c in never_archived]
+    with stats.phase("spatial", tracer=tracer):
+        spatial = spatial_analysis(never_records, cdx)
+    with stats.phase("typos", tracer=tracer):
+        typos = find_typos(never_records, cdx)
+
+    stats.add_fetch_counts(fetcher.hits, fetcher.misses)
+    stats.add_cdx_counts(cdx.hits, cdx.misses)
+
+    return StudyReport(
+        dataset=dataset,
+        probes=probes,
+        counts=counts,
+        soft404_verdicts=verdicts,
+        censuses=censuses,
+        temporal=temporal,
+        spatial=spatial,
+        typos=typos,
+        n_final_200=sum(1 for p in probes if p.returned_200),
+        n_genuinely_alive=len(alive_probes),
+        n_alive_via_redirect=sum(1 for p in alive_probes if p.redirected),
+        n_with_post_marking_copy=len(with_post),
+        n_first_post_marking_erroneous=n_post_erroneous,
+        n_pre_marking_200=len(pre200),
+        n_rest=len(rest),
+        n_rest_with_any_copy=len(rest_with_copy),
+        n_never_archived=len(never_archived),
+        n_rest_with_pre_3xx=len(rest_with_3xx),
+        n_valid_redirect_copy=n_valid_redirect,
+        stats=stats,
+        outcomes=tuple(outcomes),
+    )

@@ -11,7 +11,9 @@ discover successfully archived URLs which are in the same directory
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import math
 from dataclasses import dataclass
 
 from ..clock import SimTime
@@ -54,6 +56,44 @@ class CdxQuery:
     to_time: SimTime | None = None
     limit: int = 0
     exclude_self: bool = False
+
+
+class AsOfCdx:
+    """A CDX endpoint bounded at an instant (captures at or before it).
+
+    The live pipeline re-probes records at per-record instants while
+    the snapshot store keeps growing; an unbounded query issued when
+    re-checking a cached outcome would see captures the original probe
+    could not, making "incremental ≡ from-scratch" ill-defined. This
+    view clamps every query's ``to_time`` to just past ``at``
+    (``to_time`` is exclusive, so ``nextafter`` keeps captures exactly
+    at ``at``), which freezes each record's archive horizon at its
+    probe time.
+
+    It wraps anything with the CDX call surface — the raw
+    :class:`CdxApi` or a memoizing/fault-injecting backend stack — and
+    clamps *before* delegating, so caches and fault decisions key on
+    the clamped query: two runs probing the same record at the same
+    instant issue byte-identical requests whatever else they ran.
+    Deliberately **opt-in**: the classic batch study issues unclamped
+    queries, whose reprs the committed fault-plan goldens key on.
+    """
+
+    def __init__(self, inner, at: SimTime) -> None:
+        self._inner = inner
+        self.at = at
+        self._bound = SimTime(math.nextafter(at.days, math.inf))
+
+    def _clamp(self, request: CdxQuery) -> CdxQuery:
+        if request.to_time is None or self._bound < request.to_time:
+            return dataclasses.replace(request, to_time=self._bound)
+        return request
+
+    def query(self, request: CdxQuery) -> tuple[Snapshot, ...]:
+        return self._inner.query(self._clamp(request))
+
+    def archived_urls(self, request: CdxQuery) -> tuple[str, ...]:
+        return self._inner.archived_urls(self._clamp(request))
 
 
 class CdxApi:

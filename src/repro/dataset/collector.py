@@ -105,6 +105,11 @@ class Collector:
 
     # -- history mining ----------------------------------------------------------
 
+    def mine_article(self, title: str) -> list[CollectedLink]:
+        """Mine one article's permanently dead links (public, for the
+        live pipeline's per-article re-mining cache)."""
+        return self._mine_article(title)
+
     def _mine_article(self, title: str) -> list[CollectedLink]:
         """All permanently dead URLs in the article's current revision,
         with dates mined from one pass over the history."""

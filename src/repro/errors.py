@@ -159,3 +159,14 @@ class DatasetError(ReproError):
 
 class WorldGenError(ReproError):
     """Raised when a :class:`~repro.dataset.worldgen.WorldConfig` is invalid."""
+
+
+class LiveError(ReproError):
+    """Raised when the live pipeline's ordering invariants are violated.
+
+    The incremental engine's correctness rests on the world only ever
+    growing forward: events consumed by a build must post-date the
+    previous build, and builds must advance the clock. Violations mean
+    a cached outcome can no longer be trusted, so they fail loudly
+    instead of folding a stale delta.
+    """

@@ -100,6 +100,8 @@ class StudyExecutor:
         at: SimTime,
         stats: StudyStats | None = None,
         tracer: Tracer | None = None,
+        at_overrides: dict[str, SimTime] | None = None,
+        bound_archive: bool = False,
     ) -> StageResult:
         """Run the stage over ``records`` and merge in record order.
 
@@ -109,6 +111,12 @@ class StudyExecutor:
         ``stats`` / ``tracer`` immediately; the returned parent-side
         caches carry their own counters (and emit into ``tracer``) for
         the phases that follow.
+
+        ``at_overrides`` gives individual records their own probe
+        instants (URL-keyed; everything else probes at ``at``), and
+        ``bound_archive`` freezes each record's CDX horizon at its
+        probe instant — the live pipeline's posture, where records
+        carry different staleness and the archive keeps growing.
         """
         workers = min(self.resolved_workers, max(len(records), 1))
         parent_fetcher = FetchBackend(
@@ -117,10 +125,12 @@ class StudyExecutor:
         parent_cdx = CdxBackend(
             cdx, retry_policy=self.retry_policy, tracer=tracer
         )
+        overrides = at_overrides or {}
 
         if workers <= 1:
             outcomes = self._execute_serial(
-                records, parent_fetcher, parent_cdx, at, stats, tracer
+                records, parent_fetcher, parent_cdx, at, stats, tracer,
+                at_overrides=overrides, bound_archive=bound_archive,
             )
             self._last_shards = 1
             return StageResult(
@@ -134,6 +144,7 @@ class StudyExecutor:
         shard_results = self._execute_parallel(
             records, fetcher, cdx, at, spans, workers,
             trace=tracer is not None,
+            at_overrides=overrides, bound_archive=bound_archive,
         )
         outcomes: list[RecordOutcome] = []
         for shard in sorted(shard_results, key=lambda s: s.start):
@@ -155,7 +166,9 @@ class StudyExecutor:
                 tracer.adopt(shard.trace_spans)
         for outcome in outcomes:
             parent_fetcher.seed(
-                outcome.record.url, at, outcome.probe.result
+                outcome.record.url,
+                overrides.get(outcome.record.url, at),
+                outcome.probe.result,
             )
         self._last_shards = len(spans)
         return StageResult(
@@ -175,9 +188,12 @@ class StudyExecutor:
         at: SimTime,
         stats: StudyStats | None = None,
         tracer: Tracer | None = None,
+        at_overrides: dict[str, SimTime] | None = None,
+        bound_archive: bool = False,
     ) -> list[RecordOutcome]:
         from .worker import run_record_stage
 
+        overrides = at_overrides or {}
         metrics = stats.registry if stats is not None else None
         shard_cm = (
             tracer.span("shard", kind="shard", start=0, stop=len(records))
@@ -190,8 +206,11 @@ class StudyExecutor:
         try:
             outcomes = [
                 run_record_stage(
-                    record, fetcher, cdx, at, self.max_redirect_copies,
+                    record, fetcher, cdx,
+                    overrides.get(record.url, at),
+                    self.max_redirect_copies,
                     tracer=tracer, metrics=metrics,
+                    bound_archive=bound_archive,
                 )
                 for record in records
             ]
@@ -211,6 +230,8 @@ class StudyExecutor:
         spans: list[tuple[int, int]],
         workers: int,
         trace: bool = False,
+        at_overrides: dict[str, SimTime] | None = None,
+        bound_archive: bool = False,
     ) -> list[ShardResult]:
         context = WorkerContext(
             records=records,
@@ -220,6 +241,8 @@ class StudyExecutor:
             max_redirect_copies=self.max_redirect_copies,
             retry_policy=self.retry_policy,
             trace=trace,
+            at_overrides=at_overrides,
+            bound_archive=bound_archive,
         )
         method = self.start_method
         if method is None:

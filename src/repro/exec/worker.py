@@ -107,18 +107,27 @@ def run_record_stage(
     max_redirect_copies: int = MAX_REDIRECT_COPIES_PER_LINK,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    bound_archive: bool = False,
 ) -> RecordOutcome:
     """Run the sharded portion of the pipeline for one record.
 
     Always attaches provenance (the counter deltas are nearly free);
     ``tracer`` adds a ``record`` span enclosing the stage's backend
     spans, and ``metrics`` buffers the record's bucket and wall time.
+
+    ``at`` is the record's probe instant (the live pipeline hands each
+    record its own); ``bound_archive`` additionally clamps every CDX
+    query to captures at or before it (see
+    :class:`~repro.archive.cdx.AsOfCdx`), the posture under which a
+    cached outcome stays valid while the archive keeps growing.
     """
     from ..analysis.archived_soft404 import archived_copy_erroneous
     from ..analysis.copies import census_link
     from ..analysis.live_status import LiveProbe
     from ..analysis.redirects import RedirectValidator
+    from ..archive.cdx import AsOfCdx
 
+    stage_cdx = AsOfCdx(cdx, at) if bound_archive else cdx
     before = backend_snapshot(fetcher, cdx)
     span_cm = (
         tracer.span("record", kind="record", sim=at, url=record.url)
@@ -129,11 +138,11 @@ def run_record_stage(
     start = time.perf_counter()
     try:
         probe = LiveProbe(record=record, result=fetcher.fetch(record.url, at))
-        census = census_link(record, cdx)
+        census = census_link(record, stage_cdx)
 
         has_valid_redirect = False
         if not census.has_pre_marking_200 and census.has_pre_marking_3xx:
-            validator = RedirectValidator(cdx)
+            validator = RedirectValidator(stage_cdx)
             for snapshot in census.pre_marking_3xx[:max_redirect_copies]:
                 if validator.validate(snapshot).valid:
                     has_valid_redirect = True
@@ -141,7 +150,7 @@ def run_record_stage(
 
         first_post = census.first_post_marking
         post_erroneous = (
-            archived_copy_erroneous(first_post, cdx)
+            archived_copy_erroneous(first_post, stage_cdx)
             if first_post is not None
             else None
         )
@@ -194,6 +203,10 @@ class WorkerContext:
     retry_policy: RetryPolicy | None = None
     #: Whether shards should buffer trace spans for the parent tracer.
     trace: bool = False
+    #: Per-URL probe instants overriding ``at`` (live pipeline).
+    at_overrides: dict[str, SimTime] | None = None
+    #: Clamp CDX queries to each record's probe instant (live pipeline).
+    bound_archive: bool = False
 
 
 #: Per-process context. Under the ``fork`` start method the parent sets
@@ -251,15 +264,17 @@ def run_shard(span: tuple[int, int]) -> ShardResult:
         shard_cm.__enter__()
     wall_start = time.perf_counter()
     try:
+        overrides = context.at_overrides or {}
         outcomes = tuple(
             run_record_stage(
                 context.records[index],
                 fetcher,
                 cdx,
-                context.at,
+                overrides.get(context.records[index].url, context.at),
                 context.max_redirect_copies,
                 tracer=tracer,
                 metrics=metrics,
+                bound_archive=context.bound_archive,
             )
             for index in range(start, stop)
         )

@@ -1,0 +1,141 @@
+"""Content-hash-versioned index generations and their lifecycle.
+
+:class:`GenerationPublisher` turns each incremental build into a
+:class:`~repro.service.index.LinkStatusIndex` generation: a frozen,
+content-addressed snapshot (the index ``version`` is a hash of its
+measurements, so two builds that measured the same world state publish
+the *same* generation id). Publishing never touches a serving loop —
+the serving tiers swap generations themselves via their ``swaps=``
+schedules, copy-on-write; the publisher owns sequencing, retention,
+and the freshness telemetry:
+
+- ``live.generation.seq`` (gauge) — monotonic publish counter;
+- ``live.generation.lag_days`` (gauge) + histogram — how stale the
+  previous generation got before this one replaced it (the
+  index-freshness SLO grades these via
+  :func:`repro.obs.slo.events_from_generations`);
+- ``live.dirty.size`` (histogram) — per-generation dirty-set size;
+- ``live.rebuild.wall_ms`` (histogram) — delta-build wall cost.
+
+Retention is bounded: the newest ``retain`` generations stay pinned
+(a swap schedule needs the old generation alive until its in-flight
+requests finish), older ones retire — their versions are recorded and
+their indexes released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import SimTime
+from ..errors import LiveError
+from ..obs.metrics import MetricsRegistry
+from ..service.index import LinkStatusIndex
+from .incremental import LiveStudyResult
+
+__all__ = ["Generation", "GenerationPublisher"]
+
+#: Histogram bounds for dirty-set sizes (powers of two, small end).
+DIRTY_SIZE_BOUNDS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Histogram bounds for delta-rebuild wall cost (real ms).
+REBUILD_WALL_BOUNDS_MS: tuple[float, ...] = (
+    1, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Generation:
+    """One published index generation."""
+
+    seq: int
+    version: str
+    built_at: SimTime
+    index: LinkStatusIndex
+    dirty_size: int
+    events_consumed: int
+    #: Days the previous generation served before this one landed
+    #: (0 for the first) — the freshness-SLO latency dimension.
+    lag_days: float
+    rebuild_wall_ms: float
+
+    def summary(self) -> str:
+        return (
+            f"gen {self.seq} {self.version} at {self.built_at}: "
+            f"{len(self.index)} entries, dirty={self.dirty_size}, "
+            f"lag={self.lag_days:.1f}d, "
+            f"rebuild={self.rebuild_wall_ms:.1f}ms"
+        )
+
+
+class GenerationPublisher:
+    """Sequences incremental builds into retained index generations."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        retain: int = 2,
+    ) -> None:
+        if retain < 1:
+            raise LiveError("must retain at least the current generation")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retain = retain
+        self.generations: list[Generation] = []
+        #: Versions released from retention, oldest first.
+        self.retired: list[str] = []
+        self._seq = 0
+
+    @property
+    def current(self) -> Generation | None:
+        """The newest published generation (what a swap installs)."""
+        return self.generations[-1] if self.generations else None
+
+    def publish(self, result: LiveStudyResult) -> Generation:
+        """Snapshot one build into a generation; retire old ones.
+
+        Sequence numbers are strictly monotonic across the publisher's
+        lifetime; ``built_at`` must move forward (the incremental
+        engine already enforces it per-engine, this re-checks at the
+        publishing boundary where multiple engines could converge).
+        """
+        previous = self.current
+        if previous is not None and not (previous.built_at < result.built_at):
+            raise LiveError(
+                f"generation built at {result.built_at} does not "
+                f"post-date the current one at {previous.built_at}"
+            )
+        index = LinkStatusIndex.build(result.report)
+        lag_days = (
+            result.built_at.days - previous.built_at.days
+            if previous is not None
+            else 0.0
+        )
+        self._seq += 1
+        generation = Generation(
+            seq=self._seq,
+            version=index.version,
+            built_at=result.built_at,
+            index=index,
+            dirty_size=result.dirty.size,
+            events_consumed=result.events_consumed,
+            lag_days=lag_days,
+            rebuild_wall_ms=result.rebuild_wall_ms,
+        )
+        self.generations.append(generation)
+        while len(self.generations) > self.retain:
+            retired = self.generations.pop(0)
+            self.retired.append(retired.version)
+            self.metrics.counter("live.generations.retired").inc()
+        self.metrics.counter("live.generations.published").inc()
+        self.metrics.gauge("live.generation.seq").set(float(self._seq))
+        self.metrics.gauge("live.generation.lag_days").set(lag_days)
+        self.metrics.histogram(
+            "live.generation.lag_days.dist"
+        ).observe(lag_days)
+        self.metrics.histogram(
+            "live.dirty.size", DIRTY_SIZE_BOUNDS
+        ).observe(float(result.dirty.size))
+        self.metrics.histogram(
+            "live.rebuild.wall_ms", REBUILD_WALL_BOUNDS_MS
+        ).observe(result.rebuild_wall_ms)
+        return generation

@@ -52,12 +52,18 @@ __all__ = [
     "SloOutcome",
     "SloReport",
     "SloSpec",
+    "MS_PER_DAY",
     "burn_attribution",
     "evaluate",
     "events_from_audit",
+    "events_from_generations",
     "events_from_responses",
     "render_attribution",
 ]
+
+#: Virtual milliseconds per simulated day (freshness SLOs convert
+#: generation lag, measured in days, onto the ms-based latency axis).
+MS_PER_DAY: float = 86_400_000.0
 
 #: SLI kinds :func:`evaluate` understands.
 SLO_KINDS: tuple[str, ...] = ("availability", "latency", "shed_rate")
@@ -97,6 +103,34 @@ def events_from_responses(responses) -> tuple[SloEvent, ...]:
                 for response in responses
             ),
             key=lambda event: (event.at_ms, event.status, event.latency_ms),
+        )
+    )
+
+
+def events_from_generations(generations) -> tuple[SloEvent, ...]:
+    """Grade index freshness through the latency SLO machinery.
+
+    Each published :class:`~repro.live.publisher.Generation` becomes
+    one event completing at its build instant, whose "latency" is the
+    generation lag — how long the *previous* generation kept serving
+    before this one replaced it (``lag_days``, converted onto the
+    virtual-ms axis via :data:`MS_PER_DAY`). An
+    ``SloSpec(kind="latency", threshold_ms=budget_days * MS_PER_DAY)``
+    then reads directly as "fraction of generations published within
+    the freshness budget", with burn windows and alert intervals for
+    free — no new SLI kind needed.
+    """
+    return tuple(
+        sorted(
+            (
+                SloEvent(
+                    at_ms=generation.built_at.days * MS_PER_DAY,
+                    status=200,
+                    latency_ms=generation.lag_days * MS_PER_DAY,
+                )
+                for generation in generations
+            ),
+            key=lambda event: (event.at_ms, event.latency_ms),
         )
     )
 

@@ -131,6 +131,22 @@ class MicroBatcher:
             return None
         return self._flush(flush_ms=self.deadline_ms)
 
+    def flush_now(self, now_ms: float) -> Batch | None:
+        """Flush the open batch at ``now_ms`` regardless of deadline.
+
+        Generation swaps use this: requests admitted before the swap
+        instant must complete under the index they were admitted
+        against, so the server force-flushes every open batch *at the
+        swap instant* — earlier than its deadline — before installing
+        the new generation. Callers must not pass a ``now_ms`` before
+        the batch opened (time cannot run backwards).
+        """
+        if self._opened_ms is None:
+            return None
+        if now_ms < self._opened_ms:
+            raise ValueError("flush_now before the batch opened")
+        return self._flush(flush_ms=now_ms)
+
     def drain(self) -> tuple[BatchItem, ...]:
         """Abandon the open batch, returning its items un-executed.
 

@@ -291,7 +291,17 @@ class _Replica:
 
 
 #: Event-type priorities for same-instant ties in the cluster loop.
-_P_TRANSITION, _P_DEADLINE, _P_REDISPATCH, _P_RELEASE = 0, 1, 2, 3
+#: Generation swaps rank after batch deadlines (a batch due at the
+#: swap instant still belongs to the old generation) and before
+#: re-dispatches and releases (requests placed at the swap instant are
+#: served by the new one).
+(
+    _P_TRANSITION,
+    _P_DEADLINE,
+    _P_SWAP,
+    _P_REDISPATCH,
+    _P_RELEASE,
+) = (0, 1, 2, 3, 4)
 
 
 class ClusterService:
@@ -333,19 +343,7 @@ class ClusterService:
             f"shard-{i}" for i in range(cluster.n_shards)
         )
         self._shard_of: dict[str, str] = {}
-        partitions: dict[str, list[LinkStatusEntry]] = {
-            shard_id: [] for shard_id in self.shard_ids
-        }
-        for entry in index.entries:
-            shard_id = self._shard_of.get(entry.domain)
-            if shard_id is None:
-                shard_id = rendezvous_owner(entry.domain, self.shard_ids)
-                self._shard_of[entry.domain] = shard_id
-            partitions[shard_id].append(entry)
-        self.shards: dict[str, ShardIndex] = {
-            shard_id: ShardIndex(index, shard_id, tuple(entries))
-            for shard_id, entries in partitions.items()
-        }
+        self.shards: dict[str, ShardIndex] = self._partition(index)
 
         # -- spin up the replicas --------------------------------------------------
         self.replicas: dict[str, list[_Replica]] = {}
@@ -371,6 +369,31 @@ class ClusterService:
         self.fault_events = (
             self._faults.transitions(replica_ids) if self._faults else ()
         )
+        self._pending_swaps: list[tuple[float, LinkStatusIndex]] = []
+        self._versions_served: list[str] = [index.version]
+
+    def _partition(self, index: LinkStatusIndex) -> dict[str, ShardIndex]:
+        """Partition ``index`` by domain into per-shard views.
+
+        Shares the memoized domain→shard table across generations:
+        rendezvous placement depends only on the domain and the shard
+        id set, so a domain present in two generations lives on the
+        same shard in both — a swap re-snapshots shard *contents*, it
+        never migrates ownership.
+        """
+        partitions: dict[str, list[LinkStatusEntry]] = {
+            shard_id: [] for shard_id in self.shard_ids
+        }
+        for entry in index.entries:
+            shard_id = self._shard_of.get(entry.domain)
+            if shard_id is None:
+                shard_id = rendezvous_owner(entry.domain, self.shard_ids)
+                self._shard_of[entry.domain] = shard_id
+            partitions[shard_id].append(entry)
+        return {
+            shard_id: ShardIndex(index, shard_id, tuple(entries))
+            for shard_id, entries in partitions.items()
+        }
 
     # -- routing -----------------------------------------------------------------
 
@@ -398,16 +421,35 @@ class ClusterService:
     # -- the serve loop ----------------------------------------------------------
 
     def serve(
-        self, requests, mode: str = "serial", threads: int | None = None
+        self,
+        requests,
+        mode: str = "serial",
+        threads: int | None = None,
+        swaps=None,
     ) -> ClusterResult:
         """Replay a workload against the fleet; return every response.
 
         Same surface as the single-node ``serve``: ``mode`` is
         ``"serial"`` or ``"thread"`` (identical responses either way),
         responses come back in request-id order.
+
+        ``swaps`` — optional ``(at_ms, index)`` generation-swap
+        schedule, strictly increasing. At each swap instant every
+        replica force-flushes its open batch against its *old* shard
+        view (in-flight requests finish on the generation they were
+        admitted under), every cache is wiped, the new index is
+        re-partitioned into fresh shard views (domain ownership never
+        migrates), and only then does the fleet answer from the new
+        generation. No response ever mixes generations — the chaos
+        differential tests assert this under replica crash schedules.
         """
         if mode not in ("serial", "thread"):
             raise ValueError(f"unknown serve mode {mode!r}")
+        self._pending_swaps = sorted(swaps, key=lambda s: s[0]) if swaps else []
+        for earlier, later in zip(self._pending_swaps, self._pending_swaps[1:]):
+            if later[0] <= earlier[0]:
+                raise ValueError("swap schedule must be strictly increasing")
+        self._versions_served = [self.index.version]
         pool = None
         if mode == "thread":
             from concurrent.futures import ThreadPoolExecutor
@@ -506,6 +548,7 @@ class ClusterService:
             metrics=self.metrics,
             index_version=self.index.version,
             mode=mode,
+            index_versions=tuple(self._versions_served),
             n_shards=self.cluster.n_shards,
             replicas_per_shard=self.cluster.replicas_per_shard,
             policy=self.cluster.policy,
@@ -542,6 +585,10 @@ class ClusterService:
                 candidate = (deadline, _P_DEADLINE, position)
                 if best is None or candidate < best:
                     best = candidate
+        if self._pending_swaps:
+            candidate = (self._pending_swaps[0][0], _P_SWAP, 0)
+            if best is None or candidate < best:
+                best = candidate
         if self._redispatch:
             candidate = (self._redispatch[0][0], _P_REDISPATCH, 0)
             if best is None or candidate < best:
@@ -572,6 +619,9 @@ class ClusterService:
                 batch = replica.batcher.flush_due(at_ms)
                 if batch is not None:
                     self._execute(replica, batch, responses, pool)
+            elif priority == _P_SWAP:
+                _, new_index = self._pending_swaps.pop(0)
+                self._apply_swap(at_ms, new_index, responses, pool)
             elif priority == _P_REDISPATCH:
                 at, _, attempt, request = heapq.heappop(self._redispatch)
                 self._dispatch(
@@ -600,6 +650,37 @@ class ClusterService:
         cause = f"{event.replica_id}:{event.kind}"
         for item in replica.batcher.drain():
             self._requeue(item.request, event.at_ms, causes=(cause,))
+
+    def _apply_swap(
+        self,
+        now_ms: float,
+        new_index: LinkStatusIndex,
+        responses: list[Response],
+        pool,
+    ) -> None:
+        """Atomically install ``new_index`` fleet-wide at ``now_ms``.
+
+        The cluster analogue of the single-node swap, executed as one
+        event between batch deadlines and re-dispatches: every live
+        replica's open batch force-flushes against its old shard view
+        (groups lost to an in-flight failure re-dispatch as usual and
+        will be answered by the new generation — they never produced
+        old-generation bytes), every replica's cache is wiped, and the
+        new index is re-partitioned into fresh shard views bound to
+        the same replicas. Domain→shard ownership is memoized across
+        generations, so the swap never migrates a domain.
+        """
+        for replica in self._all_replicas:
+            batch = replica.batcher.flush_now(now_ms)
+            if batch is not None:
+                self._execute(replica, batch, responses, pool)
+        self.index = new_index
+        self.shards = self._partition(new_index)
+        for replica in self._all_replicas:
+            replica.index = self.shards[replica.shard_id]
+            replica.wipe_cache()
+        self._versions_served.append(new_index.version)
+        self.metrics.counter("service.swaps").inc()
 
     def _requeue(
         self,
@@ -644,8 +725,13 @@ class ClusterService:
             self.metrics.counter("service.cluster.unavailable_shed").inc()
         completion = at_ms if at_ms is not None else request.arrival_ms
         if self._obs_log is not None:
-            # Shed entries are tagged by a None replica slot.
-            self._obs_log.append((None, request, status, source, completion))
+            # Shed entries are tagged by a None replica slot. The
+            # serving generation is captured per entry: materialization
+            # happens after the run, when only the final index remains.
+            self._obs_log.append(
+                (None, request, status, source, completion,
+                 self.index.version)
+            )
         responses.append(
             Response(
                 request_id=request.request_id,
@@ -804,9 +890,13 @@ class ClusterService:
                 # One compact entry per coalesced group; spans,
                 # exemplars, and audit records expand from it in
                 # _materialize_observations, off the serving path.
+                # The generation serving the group rides along — after
+                # a swap, `self.index.version` no longer tells you
+                # what this batch answered from.
                 self._obs_log.append((
                     replica, key, items, status, completion_ms,
                     key in fresh, latency[key], spike.get(key, 0.0),
+                    self.index.version,
                 ))
             for position, item in enumerate(items):
                 request = item.request
@@ -857,7 +947,6 @@ class ClusterService:
         """
         tracer = self.tracer
         audit = self.audit
-        version = self.index.version
         rollup = self.metrics.histogram(
             "service.latency_ms", LATENCY_BOUNDS_MS
         )
@@ -865,7 +954,7 @@ class ClusterService:
         for entry in log:
             replica = entry[0]
             if replica is None:
-                _, request, status, source, completion = entry
+                _, request, status, source, completion, version = entry
                 rid = request.request_id
                 if tracer is not None:
                     tracer.defer_span(
@@ -892,7 +981,7 @@ class ClusterService:
                 continue
             (
                 _, key, items, status, completion_ms,
-                fresh, latency_ms, spike_ms,
+                fresh, latency_ms, spike_ms, version,
             ) = entry
             if tracer is not None:
                 self._trace_group(

@@ -150,6 +150,11 @@ class ServiceResult:
     metrics: MetricsRegistry
     index_version: str
     mode: str
+    #: Every generation that served during the run, in install order
+    #: (initial index first, then each swap). Single-generation runs
+    #: carry the one version; ``index_version`` stays the *final*
+    #: generation — the one a client connecting now would see.
+    index_versions: tuple[str, ...] = ()
 
     @property
     def offered(self) -> int:
@@ -334,6 +339,8 @@ class LinkStatusService:
             max_wait_ms=config.max_wait_ms,
             metrics=self.metrics,
         )
+        self._pending_swaps: list[tuple[float, LinkStatusIndex]] = []
+        self._versions_served: list[str] = [index.version]
 
     # -- deterministic latency model ---------------------------------------------
 
@@ -346,16 +353,36 @@ class LinkStatusService:
     # -- the serve loop ----------------------------------------------------------
 
     def serve(
-        self, requests, mode: str = "serial", threads: int | None = None
+        self,
+        requests,
+        mode: str = "serial",
+        threads: int | None = None,
+        swaps=None,
     ) -> ServiceResult:
         """Replay a workload against the index; return every response.
 
         ``mode`` is ``"serial"`` or ``"thread"``; both return
         identical responses for the same inputs (asserted by the test
         suite). Responses come back in request-id order.
+
+        ``swaps`` is an optional schedule of zero-downtime generation
+        swaps: ``(at_ms, index)`` pairs, strictly increasing in time.
+        Each swap is an event on the virtual clock, ordered *after*
+        batch deadlines due at the same instant and *before* queue
+        releases: batches already due flush under the old generation,
+        any still-open batch is force-flushed at the swap instant
+        (in-flight requests complete against the index they were
+        admitted under), the result cache is wiped (its bodies belong
+        to the old generation), and only then is the new index
+        installed — so no response ever mixes generations.
         """
         if mode not in ("serial", "thread"):
             raise ValueError(f"unknown serve mode {mode!r}")
+        self._pending_swaps = sorted(swaps, key=lambda s: s[0]) if swaps else []
+        for earlier, later in zip(self._pending_swaps, self._pending_swaps[1:]):
+            if later[0] <= earlier[0]:
+                raise ValueError("swap schedule must be strictly increasing")
+        self._versions_served = versions = [self.index.version]
         pool = (
             ThreadPoolExecutor(
                 max_workers=threads if threads else self.config.threads
@@ -401,18 +428,23 @@ class LinkStatusService:
             metrics=self.metrics,
             index_version=self.index.version,
             mode=mode,
+            index_versions=tuple(versions),
         )
 
     def _advance(
         self, now_ms: float | None, responses: list[Response], pool
     ) -> None:
-        """Run every due event (queue releases, batch deadlines) in
-        time order up to ``now_ms`` (``None`` = run them all)."""
+        """Run every due event (queue releases, batch deadlines,
+        generation swaps) in time order up to ``now_ms`` (``None`` =
+        run them all)."""
         while True:
             release_ms = self.admission.next_release_ms()
             deadline_ms = self.batcher.deadline_ms
+            swap_ms = (
+                self._pending_swaps[0][0] if self._pending_swaps else None
+            )
             candidates = [
-                t for t in (release_ms, deadline_ms) if t is not None
+                t for t in (release_ms, deadline_ms, swap_ms) if t is not None
             ]
             if not candidates:
                 return
@@ -421,14 +453,50 @@ class LinkStatusService:
                 return
             # Deadline flush wins ties: the batch closed before (or
             # exactly as) the token accrued, so the released request
-            # belongs to the next batch.
+            # belongs to the next batch. A swap ranks after deadlines
+            # (due batches still belong to the old generation) and
+            # before releases (requests released at the swap instant
+            # are served by the new one).
             if deadline_ms is not None and deadline_ms <= next_ms:
                 batch = self.batcher.flush_due(deadline_ms)
                 if batch is not None:
                     self._execute(batch, responses, pool)
                 continue
+            if swap_ms is not None and swap_ms <= next_ms:
+                _, new_index = self._pending_swaps.pop(0)
+                self._apply_swap(swap_ms, new_index, responses, pool)
+                continue
             request, ready_ms = self.admission.release_one()
             self._enqueue(request, ready_ms, responses, pool)
+
+    def _apply_swap(
+        self,
+        now_ms: float,
+        new_index: LinkStatusIndex,
+        responses: list[Response],
+        pool,
+    ) -> None:
+        """Atomically install ``new_index`` at ``now_ms``.
+
+        Copy-on-write semantics on the virtual clock: the open batch
+        (if any) is force-flushed and completes against the old index,
+        the result cache is replaced wholesale (old-generation bodies
+        must not outlive their index), and only then does the service
+        start answering from the new generation. Shared metrics
+        registry survives — the swap is invisible to counters except
+        for ``service.swaps``.
+        """
+        batch = self.batcher.flush_now(now_ms)
+        if batch is not None:
+            self._execute(batch, responses, pool)
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            ttl_ms=self.config.cache_ttl_ms,
+            metrics=self.metrics,
+        )
+        self.index = new_index
+        self._versions_served.append(new_index.version)
+        self.metrics.counter("service.swaps").inc()
 
     def _enqueue(
         self,

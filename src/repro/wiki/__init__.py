@@ -11,7 +11,12 @@ link-posted event stream that feeds the archive's triggered crawler.
 from .api import WikiApi
 from .article import Article, Revision
 from .encyclopedia import Encyclopedia, PERMADEAD_CATEGORY
-from .events import LinkPostedEvent
+from .events import (
+    LinkEvent,
+    LinkMarkedDeadEvent,
+    LinkPostedEvent,
+    LinkRemovedEvent,
+)
 from .templates import (
     DEAD_LINK_TEMPLATE,
     IABOT_USERNAME,
@@ -25,8 +30,11 @@ __all__ = [
     "DEAD_LINK_TEMPLATE",
     "Encyclopedia",
     "IABOT_USERNAME",
+    "LinkEvent",
+    "LinkMarkedDeadEvent",
     "LinkPostedEvent",
     "LinkRef",
+    "LinkRemovedEvent",
     "PERMADEAD_CATEGORY",
     "Revision",
     "Template",

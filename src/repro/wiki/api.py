@@ -16,6 +16,7 @@ from ..clock import SimTime
 from ..errors import WikiError
 from .article import Revision
 from .encyclopedia import Encyclopedia
+from .events import LinkEvent, LinkPostedEvent
 
 #: MediaWiki's default maximum batch size for most list queries.
 DEFAULT_BATCH_LIMIT = 500
@@ -27,6 +28,20 @@ class CategoryMembersPage:
 
     titles: tuple[str, ...]
     continue_token: str | None
+
+
+@dataclass(frozen=True, slots=True)
+class EventsPage:
+    """One page of the lifecycle event feed plus the resume cursor.
+
+    ``next_cursor`` is always valid to resume from, including when the
+    page is empty (the feed caught up); ``more`` distinguishes "drained
+    for now" from "another page is already waiting".
+    """
+
+    events: tuple[LinkEvent, ...]
+    next_cursor: int
+    more: bool
 
 
 @dataclass(frozen=True, slots=True)
@@ -131,12 +146,41 @@ class WikiApi:
     # -- recent changes flavoured helpers --------------------------------------------
 
     def link_posted_events_since(self, since: SimTime):
-        """Link-posted events at or after ``since`` (EventStream style)."""
+        """Link-posted events at or after ``since`` (EventStream style).
+
+        Boundary semantics are load-bearing and pinned by tests:
+        ``since`` is **inclusive** (an event exactly at ``since`` is
+        returned — resuming from the last seen timestamp re-delivers
+        that instant rather than dropping equal-time siblings), and
+        events with equal timestamps keep their **emission order** (the
+        log is append-only; filtering never reorders).
+        """
         self.request_count += 1
         return tuple(
             event
             for event in self._enc.events.events()
-            if not event.posted_at < since
+            if isinstance(event, LinkPostedEvent)
+            and not event.posted_at < since
+        )
+
+    def events_since(
+        self, cursor: int = 0, limit: int = DEFAULT_BATCH_LIMIT
+    ) -> EventsPage:
+        """The lifecycle event feed from an integer cursor.
+
+        Timestamp-based resumption (``link_posted_events_since``) is
+        lossy at the boundary instant; the cursor is exact — it is the
+        count of events already consumed, so consecutive drains from
+        the returned ``next_cursor`` partition the log with no gap and
+        no overlap, at any page size.
+        """
+        self.request_count += 1
+        limit = self._clamp_limit(limit)
+        events, next_cursor = self._enc.events.events_since(cursor, limit)
+        return EventsPage(
+            events=events,
+            next_cursor=next_cursor,
+            more=next_cursor < self._enc.events.cursor,
         )
 
     @staticmethod

@@ -12,7 +12,12 @@ from __future__ import annotations
 from ..clock import SimTime
 from ..errors import ArticleNotFound, WikiError
 from .article import Article, Revision
-from .events import EventLog, LinkPostedEvent
+from .events import (
+    EventLog,
+    LinkMarkedDeadEvent,
+    LinkPostedEvent,
+    LinkRemovedEvent,
+)
 
 #: The category listing the paper crawled in March 2022 [31].
 PERMADEAD_CATEGORY = "Articles with permanently dead external links"
@@ -78,12 +83,16 @@ class Encyclopedia:
     def _apply_edit(
         self, article: Article, at: SimTime, user: str, wikitext: str, comment: str
     ) -> Revision:
-        previous_urls = (
-            {ref.url for ref in article.latest.link_refs()}
-            if article.revisions
-            else set()
+        previous_refs = (
+            article.latest.link_refs() if article.revisions else []
         )
+        previous_urls = {ref.url for ref in previous_refs}
+        previously_marked = {
+            ref.url for ref in previous_refs if ref.is_marked_dead
+        }
         revision = article.edit(at, user, wikitext, comment)
+        current_urls: set[str] = set()
+        newly_marked: list[str] = []
         for ref in revision.link_refs():
             if ref.url not in previous_urls:
                 self.events.append(
@@ -91,6 +100,30 @@ class Encyclopedia:
                         url=ref.url, article_title=article.title, posted_at=at
                     )
                 )
+            if (
+                ref.is_marked_dead
+                and ref.url not in previously_marked
+                and ref.url not in newly_marked
+            ):
+                newly_marked.append(ref.url)
+            current_urls.add(ref.url)
+        # Mark events after all posts of the edit: a URL posted already
+        # annotated yields posted-then-marked, in that order.
+        for url in newly_marked:
+            self.events.append(
+                LinkMarkedDeadEvent(
+                    url=url,
+                    article_title=article.title,
+                    marked_at=at,
+                    marked_by=user,
+                )
+            )
+        for url in sorted(previous_urls - current_urls):
+            self.events.append(
+                LinkRemovedEvent(
+                    url=url, article_title=article.title, removed_at=at
+                )
+            )
         self._refresh_category(article)
         return revision
 

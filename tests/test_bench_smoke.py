@@ -37,6 +37,9 @@ TOY_ENV = {
     "REPRO_BENCH_SAMPLE": "800",
     "REPRO_BENCH_SERVICE_REQUESTS": "2000",
     "REPRO_BENCH_CLUSTER_REQUESTS": "3000",
+    "REPRO_BENCH_LIVE_LINKS": "400",
+    "REPRO_BENCH_LIVE_SAMPLE": "150",
+    "REPRO_BENCH_LIVE_REQUESTS": "1000",
     "REPRO_NO_COV": "1",
 }
 
@@ -47,6 +50,7 @@ DIGESTS = {
     "BENCH_obs.json": ("overhead_frac", "spans", "service"),
     "BENCH_stack.json": ("overhead_frac", "stacked_seconds"),
     "BENCH_service.json": ("single_node", "cluster"),
+    "BENCH_live.json": ("delta_rebuild", "swap"),
 }
 
 
@@ -94,6 +98,13 @@ def test_every_benchmark_runs_at_toy_scale(tmp_path):
     # The committed full-scale digests were not touched.
     cluster = json.loads((tmp_path / "BENCH_service.json").read_text())
     assert cluster["cluster"]["n_requests_per_run"] == 3000
+
+    # The live pipeline delta-built and swapped at toy scale.
+    live = json.loads((tmp_path / "BENCH_live.json").read_text())
+    assert live["swap"]["n_requests"] == 1000
+    assert live["delta_rebuild"]["batches"]
+    for digest in live["delta_rebuild"]["batches"]:
+        assert digest["dirty"] >= digest["events"]
 
     # The service-tier obs arm ran at toy scale and recorded its keys.
     obs = json.loads((tmp_path / "BENCH_obs.json").read_text())

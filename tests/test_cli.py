@@ -27,6 +27,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "patched" in out and "category" in out
 
+    def test_live(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "live.json")
+        assert main(
+            [
+                "live", "--links", "400", "--seed", "6",
+                "--generations", "3", "--requests", "300", "--json", path,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gen 3" in out
+        assert "zero-downtime swaps: 2" in out
+        assert "freshness SLO" in out
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["generations"]) == 3
+        assert payload["generations"][0]["dirty"] > payload[
+            "generations"
+        ][1]["dirty"]
+        assert len(payload["served_by_generation"]) == 3
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
