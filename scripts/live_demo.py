@@ -12,6 +12,12 @@ Usage::
                         (default 4000; 0 skips the serving replay)
     --chaos             crash replicas mid-replay (cluster tier) and
                         show the swap staying clean under it
+    --rolling           drained per-replica rolling cutovers instead
+                        of atomic fleet-wide swaps
+    --full-snapshots    ship whole index snapshots instead of verified
+                        generation deltas
+    --rebalance         (with --chaos) migrate the hottest domain's
+                        routing keys between shards mid-replay
     --json PATH         write the run digest as JSON
 
 Builds a world, then keeps it *moving*: each interval the bot sweeps a
@@ -20,7 +26,11 @@ incremental engine re-measures only the dirty set — printing, per
 generation: the content-hash id, dirty-set size vs sample, events
 consumed, rebuild wall cost, and the dead-link-rate drift since the
 baseline. The published generations are then installed into a serving
-replay via the zero-downtime ``swaps=`` schedule; every response
+replay through the reconfiguration plane: by default each cutover
+ships a content-addressed :class:`GenerationDelta` (dirty subset
+only — the byte savings are printed per delta) and applies atomically;
+``--rolling`` drains instead, and ``--rebalance`` moves a hot domain
+between shards mid-replay via the same machinery. Every response
 carries the generation that answered it, and the per-generation served
 counts show the cutover. Everything except wall time is deterministic
 in (world seed, workload seed, config) — run it twice and diff.
@@ -46,12 +56,17 @@ from repro.obs.slo import MS_PER_DAY, SloSpec, events_from_generations
 from repro.service import (
     ClusterConfig,
     ClusterService,
+    DeltaApply,
+    GenerationSwap,
     LinkStatusService,
     ServerConfig,
     ServiceFaultPlan,
     WorkloadConfig,
     generate_workload,
+    snapshot_wire_bytes,
 )
+from repro.service import RebalancePlan
+from repro.service.router import rendezvous_owner, routing_key
 
 
 def parse_args(argv):
@@ -65,6 +80,9 @@ def parse_args(argv):
     parser.add_argument("--reprobe-days", type=float, default=30.0)
     parser.add_argument("--requests", type=int, default=4000)
     parser.add_argument("--chaos", action="store_true")
+    parser.add_argument("--rolling", action="store_true")
+    parser.add_argument("--full-snapshots", action="store_true")
+    parser.add_argument("--rebalance", action="store_true")
     parser.add_argument("--json", default=None)
     return parser.parse_args(argv)
 
@@ -149,17 +167,44 @@ def main(argv=None) -> int:
     }
 
     if args.requests:
-        generations = publisher.generations
-        first = generations[0]
+        # Adjacent generations can share a version (a quiet interval);
+        # the schedule validator rejects no-op swaps, so collapse them.
+        lineage = [publisher.generations[0]]
+        for generation in publisher.generations[1:]:
+            if generation.version != lineage[-1].version:
+                lineage.append(generation)
+        first = lineage[0]
         workload = generate_workload(
             [entry.url for entry in first.index.entries],
             WorkloadConfig(n_requests=args.requests, seed=args.seed),
         )
         horizon = max(r.arrival_ms for r in workload)
-        swaps = [
-            (horizon * (i + 1) / len(generations), g.index)
-            for i, g in enumerate(generations[1:])
-        ]
+        swaps = []
+        delta_digest = []
+        for i, generation in enumerate(lineage[1:]):
+            at_ms = horizon * (i + 1) / len(lineage)
+            if args.full_snapshots:
+                swaps.append(GenerationSwap(
+                    at_ms=at_ms, drain=args.rolling,
+                    index=generation.index,
+                ))
+            else:
+                delta = publisher.build_delta(lineage[i], generation)
+                full = snapshot_wire_bytes(generation.index)
+                print(
+                    f"  {delta.summary()} "
+                    f"({100 * delta.wire_bytes() / full:.1f}% of the "
+                    f"{full}-byte snapshot)"
+                )
+                delta_digest.append({
+                    "delta_id": delta.delta_id,
+                    "to_version": delta.to_version,
+                    "delta_bytes": delta.wire_bytes(),
+                    "snapshot_bytes": full,
+                })
+                swaps.append(DeltaApply(
+                    at_ms=at_ms, drain=args.rolling, delta=delta,
+                ))
         if args.chaos:
             service = ClusterService(
                 first.index, ServerConfig(),
@@ -170,8 +215,32 @@ def main(argv=None) -> int:
                     crash_horizon_ms=horizon,
                 ),
             )
+            if args.rebalance:
+                # Move the hottest domain's routing key to the other
+                # shard mid-replay, through the same drain machinery.
+                heat: dict[str, int] = {}
+                for request in workload:
+                    key = routing_key(request.kind, request.target)
+                    heat[key] = heat.get(key, 0) + 1
+                hottest = max(heat, key=lambda k: (heat[k], k))
+                owner = rendezvous_owner(hottest, service.shard_ids)
+                target = next(
+                    shard for shard in service.shard_ids
+                    if shard != owner
+                )
+                swaps.append(RebalancePlan(
+                    at_ms=0.47 * horizon, moves=((hottest, target),),
+                ))
+                print(
+                    f"  rebalance: {hottest!r} "
+                    f"({heat[hottest]} requests) {owner} -> {target} "
+                    f"at {0.47 * horizon:.0f}ms"
+                )
         else:
             service = LinkStatusService(first.index)
+            if args.rebalance:
+                print("  (--rebalance needs --chaos's cluster tier; "
+                      "ignored)")
         result = service.serve(workload, swaps=swaps)
         served: dict[str, int] = {}
         for response in result.responses:
@@ -185,13 +254,26 @@ def main(argv=None) -> int:
                 f"  chaos: {len(result.fault_events)} replica fault "
                 f"events, {len(result.unavailable_ids)} gave up (503)"
             )
-        print(f"  zero-downtime swaps: {len(swaps)}")
-        for generation in generations:
+        discipline = "rolling drained" if args.rolling else "atomic"
+        print(f"  zero-downtime reconfigurations: {len(swaps)} "
+              f"({discipline})")
+        for event in result.reconfig_events:
+            print(
+                f"    {event.kind} at {event.scheduled_ms:.1f}ms -> "
+                f"{event.to_version} (lag {event.lag_ms:.2f}ms, "
+                f"{event.drained_batches} drained, "
+                f"{event.moved_keys} keys moved)"
+            )
+        for generation in lineage:
             count = served.get(generation.version, 0)
             print(f"    gen {generation.seq} ({generation.version}): "
                   f"{count} responses")
         payload["serve"] = result.as_dict()
         payload["served_by_generation"] = served
+        payload["deltas"] = delta_digest
+        payload["reconfigs"] = [
+            event.as_dict() for event in result.reconfig_events
+        ]
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -16,7 +16,11 @@ Subcommands:
                     [--interval-days D]               ... delta-building an index
                     [--reprobe-days R]                ... generation per interval
                     [--requests M] [--json P]         ... and replay traffic
-                                                      ... across the swaps
+                    [--drain] [--full-snapshots]      ... across delta swaps
+                                                      ... (rolling when draining)
+    python -m repro generations --url U [--last N]    one URL's status across
+                    [--generations G]                 ... the retained index
+                    [--interval-days D]               ... generations
 
 Also installed as the ``repro`` console script.
 """
@@ -290,12 +294,11 @@ def _cmd_query(args) -> int:
     return 0 if status == 200 else 1
 
 
-def _cmd_live(args) -> int:
+def _drive_live_generations(args, on_generation=None):
+    """Generate a world, evolve it, and publish one generation per
+    interval (the scripted evolution the live subcommands share)."""
     from .clock import SimTime
     from .live import GenerationPublisher, IncrementalStudy, ReprobePolicy, WorldDriver
-    from .obs import evaluate
-    from .obs.slo import MS_PER_DAY, SloSpec, events_from_generations
-    from .service import LinkStatusService, WorkloadConfig, generate_workload
 
     world = _build_world(args)
     driver = WorldDriver(world)
@@ -304,7 +307,6 @@ def _cmd_live(args) -> int:
     )
     publisher = GenerationPublisher(retain=args.generations)
     base = world.study_time.days
-    baseline_dead = None
     for ordinal in range(args.generations):
         at = SimTime(base + ordinal * args.interval_days)
         if ordinal > 0:
@@ -318,6 +320,31 @@ def _cmd_live(args) -> int:
                 )
         result = engine.build(at)
         generation = publisher.publish(result)
+        if on_generation is not None:
+            on_generation(generation, result)
+    return publisher
+
+
+def _cmd_live(args) -> int:
+    from .obs import evaluate
+    from .obs.slo import (
+        MS_PER_DAY,
+        SloSpec,
+        events_from_generations,
+        events_from_reconfigs,
+    )
+    from .service import (
+        DeltaApply,
+        GenerationSwap,
+        LinkStatusService,
+        WorkloadConfig,
+        generate_workload,
+    )
+
+    baseline_dead = None
+
+    def announce(generation, result):
+        nonlocal baseline_dead
         dead_rate = 1.0 - result.report.frac_genuinely_alive
         if baseline_dead is None:
             baseline_dead = dead_rate
@@ -325,6 +352,8 @@ def _cmd_live(args) -> int:
             f"{generation.summary()}  dead-rate {100 * dead_rate:.2f}% "
             f"({100 * (dead_rate - baseline_dead):+.2f}% vs gen 1)"
         )
+
+    publisher = _drive_live_generations(args, announce)
 
     freshness = evaluate(
         events_from_generations(publisher.generations),
@@ -357,17 +386,32 @@ def _cmd_live(args) -> int:
     }
 
     if args.requests:
-        generations = publisher.generations
-        first = generations[0]
+        # Adjacent generations can share a version (nothing changed in
+        # an interval); the schedule validator rightly rejects no-op
+        # swaps, so collapse them before scheduling.
+        lineage = [publisher.generations[0]]
+        for generation in publisher.generations[1:]:
+            if generation.version != lineage[-1].version:
+                lineage.append(generation)
+        first = lineage[0]
         workload = generate_workload(
             [entry.url for entry in first.index.entries],
             WorkloadConfig(n_requests=args.requests, seed=args.seed),
         )
         horizon = max(r.arrival_ms for r in workload)
-        swaps = [
-            (horizon * (i + 1) / len(generations), g.index)
-            for i, g in enumerate(generations[1:])
-        ]
+        swaps = []
+        for i, generation in enumerate(lineage[1:]):
+            at_ms = horizon * (i + 1) / len(lineage)
+            if args.full_snapshots:
+                swaps.append(GenerationSwap(
+                    at_ms=at_ms, drain=args.drain, index=generation.index,
+                ))
+            else:
+                delta = publisher.build_delta(lineage[i], generation)
+                print(f"  {delta.summary()}")
+                swaps.append(DeltaApply(
+                    at_ms=at_ms, drain=args.drain, delta=delta,
+                ))
         result = LinkStatusService(first.index).serve(workload, swaps=swaps)
         served: dict[str, int] = {}
         for response in result.responses:
@@ -376,12 +420,40 @@ def _cmd_live(args) -> int:
             ) + 1
         print()
         print(result.summary())
+        discipline = "drained" if args.drain else "atomic"
         print(
-            f"zero-downtime swaps: {len(swaps)}; served by generation: "
+            f"zero-downtime swaps: {len(swaps)} ({discipline}, "
+            f"{'snapshots' if args.full_snapshots else 'deltas'}); "
+            "served by generation: "
             + ", ".join(f"{v}={n}" for v, n in served.items())
+        )
+        for event in result.reconfig_events:
+            print(
+                f"  reconfig {event.kind} at {event.scheduled_ms:.1f}ms "
+                f"-> {event.to_version} (lag {event.lag_ms:.2f}ms, "
+                f"{event.drained_batches} drained batches)"
+            )
+        reconfig_slo = evaluate(
+            events_from_reconfigs(result.reconfig_events),
+            (
+                SloSpec(
+                    name="reconfig-lag",
+                    kind="latency",
+                    objective=0.99,
+                    threshold_ms=50.0,
+                ),
+            ),
+        )
+        print(
+            f"reconfig-lag SLO (50ms budget): "
+            f"{'met' if reconfig_slo.met else 'violated'}"
         )
         payload["serve"] = result.as_dict()
         payload["served_by_generation"] = served
+        payload["reconfigs"] = [
+            event.as_dict() for event in result.reconfig_events
+        ]
+        payload["reconfig_slo_met"] = reconfig_slo.met
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -389,6 +461,45 @@ def _cmd_live(args) -> int:
             handle.write("\n")
         print(f"wrote {args.json}")
     return 0
+
+
+def _cmd_generations(args) -> int:
+    """Cross-generation history: how one URL's status moved."""
+    publisher = _drive_live_generations(args)
+    states = publisher.history(args.url, n=args.last)
+    print()
+    print(f"history of {args.url} over {len(states)} retained generations:")
+    for state in states:
+        print(f"  {state.summary()}")
+    buckets = [state.bucket for state in states]
+    transitions = sum(
+        1 for a, b in zip(buckets, buckets[1:]) if a != b
+    )
+    print(f"  {transitions} status transitions")
+    if args.json:
+        payload = {
+            "url": args.url,
+            "transitions": transitions,
+            "states": [
+                {
+                    "seq": state.seq,
+                    "version": state.version,
+                    "built_at_days": state.built_at.days,
+                    "bucket": state.bucket,
+                    "advice": (
+                        state.entry.advice
+                        if state.entry is not None
+                        else None
+                    ),
+                }
+                for state in states
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if any(state.entry is not None for state in states) else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -408,6 +519,7 @@ def main(argv: list[str] | None = None) -> int:
         ("serve", _cmd_serve),
         ("query", _cmd_query),
         ("live", _cmd_live),
+        ("generations", _cmd_generations),
     ):
         cmd = sub.add_parser(name)
         cmd.add_argument("--links", type=int, default=3000)
@@ -512,7 +624,7 @@ def main(argv: list[str] | None = None) -> int:
                     "(exit 1 on violation)"
                 ),
             )
-        if name == "live":
+        if name in ("live", "generations"):
             cmd.add_argument(
                 "--generations",
                 type=int,
@@ -532,6 +644,13 @@ def main(argv: list[str] | None = None) -> int:
                 help="quiescent-URL re-probe epoch length",
             )
             cmd.add_argument(
+                "--json",
+                metavar="PATH",
+                default=None,
+                help="also write the run digest as JSON",
+            )
+        if name == "live":
+            cmd.add_argument(
                 "--requests",
                 type=int,
                 default=2000,
@@ -541,10 +660,33 @@ def main(argv: list[str] | None = None) -> int:
                 ),
             )
             cmd.add_argument(
-                "--json",
-                metavar="PATH",
+                "--drain",
+                action="store_true",
+                help=(
+                    "drained swaps: the open batch finishes under the "
+                    "old generation before the service rebinds"
+                ),
+            )
+            cmd.add_argument(
+                "--full-snapshots",
+                action="store_true",
+                help=(
+                    "install full index snapshots instead of verified "
+                    "generation deltas"
+                ),
+            )
+        if name == "generations":
+            cmd.add_argument(
+                "--url",
+                required=True,
+                help="URL whose cross-generation history to print",
+            )
+            cmd.add_argument(
+                "--last",
+                type=int,
                 default=None,
-                help="also write the run digest as JSON",
+                metavar="N",
+                help="only the N most recent retained generations",
             )
         if name == "query":
             what = cmd.add_mutually_exclusive_group(required=True)

@@ -17,10 +17,12 @@ measurement *current* as the world moves. Four pieces:
   forward evolution of a generated world (sweeps, captures, edits)
   that the demos, benchmarks, and tests script.
 
-Serving tiers swap generations atomically via the ``swaps=`` schedule
-on :meth:`LinkStatusService.serve <repro.service.server.
+Serving tiers adopt generations via the ``swaps=`` schedule on
+:meth:`LinkStatusService.serve <repro.service.server.
 LinkStatusService.serve>` and :meth:`ClusterService.serve
-<repro.service.cluster.ClusterService.serve>`.
+<repro.service.cluster.ClusterService.serve>` — atomically, as
+rolling drained cutovers, or as :class:`GenerationPublisher.
+build_delta` deltas through the :mod:`repro.service.reconfig` plane.
 """
 
 from .driver import WorldDriver
@@ -31,7 +33,7 @@ from .incremental import (
     LiveStudyResult,
     reference_study,
 )
-from .publisher import Generation, GenerationPublisher
+from .publisher import Generation, GenerationPublisher, UrlGenerationState
 
 __all__ = [
     "DirtySet",
@@ -40,6 +42,7 @@ __all__ = [
     "IncrementalStudy",
     "LiveStudyResult",
     "ReprobePolicy",
+    "UrlGenerationState",
     "WorldDriver",
     "last_touch_map",
     "probe_time_map",

@@ -30,13 +30,19 @@ from dataclasses import dataclass
 from ..clock import SimTime
 from ..errors import LiveError
 from ..obs.metrics import MetricsRegistry
-from ..service.index import LinkStatusIndex
+from ..service.index import LinkStatusEntry, LinkStatusIndex
+from ..service.reconfig import GenerationDelta, snapshot_wire_bytes
 from .incremental import LiveStudyResult
 
-__all__ = ["Generation", "GenerationPublisher"]
+__all__ = ["Generation", "GenerationPublisher", "UrlGenerationState"]
 
 #: Histogram bounds for dirty-set sizes (powers of two, small end).
 DIRTY_SIZE_BOUNDS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Histogram bounds for delta wire size (bytes, canonical JSON).
+DELTA_BYTES_BOUNDS: tuple[float, ...] = (
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
+)
 
 #: Histogram bounds for delta-rebuild wall cost (real ms).
 REBUILD_WALL_BOUNDS_MS: tuple[float, ...] = (
@@ -65,6 +71,30 @@ class Generation:
             f"{len(self.index)} entries, dirty={self.dirty_size}, "
             f"lag={self.lag_days:.1f}d, "
             f"rebuild={self.rebuild_wall_ms:.1f}ms"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class UrlGenerationState:
+    """One URL's status as one retained generation published it."""
+
+    seq: int
+    version: str
+    built_at: SimTime
+    #: ``None`` when the generation did not cover the URL (sampled
+    #: out, or removed from the corpus by then).
+    entry: LinkStatusEntry | None
+
+    @property
+    def bucket(self) -> str | None:
+        return self.entry.bucket if self.entry is not None else None
+
+    def summary(self) -> str:
+        if self.entry is None:
+            return f"gen {self.seq} {self.version} at {self.built_at}: (not covered)"
+        return (
+            f"gen {self.seq} {self.version} at {self.built_at}: "
+            f"{self.entry.bucket} -> {self.entry.advice}"
         )
 
 
@@ -139,3 +169,63 @@ class GenerationPublisher:
             "live.rebuild.wall_ms", REBUILD_WALL_BOUNDS_MS
         ).observe(result.rebuild_wall_ms)
         return generation
+
+    def build_delta(
+        self,
+        base: Generation | None = None,
+        target: Generation | None = None,
+    ) -> GenerationDelta:
+        """Diff two retained generations into a verified wire delta.
+
+        Defaults to the most recent publish step: the previous
+        retained generation → the current one, which is the delta a
+        replica fleet applies (via
+        :class:`~repro.service.reconfig.DeltaApply`) to follow the
+        publisher without re-shipping the full snapshot. The returned
+        delta is content-addressed and verified at build time:
+        applying it reproduces the target's content-hash version
+        exactly, or :meth:`GenerationDelta.between` raises.
+        """
+        if target is None:
+            target = self.current
+        if base is None and len(self.generations) >= 2:
+            base = self.generations[-2]
+        if base is None or target is None:
+            raise LiveError(
+                "delta needs two retained generations; "
+                f"have {len(self.generations)}"
+            )
+        delta = GenerationDelta.between(base.index, target.index)
+        self.metrics.counter("live.deltas.built").inc()
+        self.metrics.histogram(
+            "live.delta.bytes", DELTA_BYTES_BOUNDS
+        ).observe(float(delta.wire_bytes()))
+        self.metrics.gauge("live.delta.savings_ratio").set(
+            1.0 - delta.wire_bytes() / snapshot_wire_bytes(target.index)
+        )
+        return delta
+
+    def history(
+        self, url: str, n: int | None = None
+    ) -> tuple[UrlGenerationState, ...]:
+        """How one URL's status moved over the last ``n`` retained
+        generations (all retained when ``n`` is None), oldest first.
+
+        Reads only what retention already pins — no index rebuilds,
+        no event-log replay — so it is O(retained) lookups. A
+        generation that did not cover the URL contributes a state
+        with ``entry=None`` rather than vanishing from the timeline:
+        "sampled out at generation 3" is signal, not absence.
+        """
+        if n is not None and n < 1:
+            raise LiveError("history needs at least one generation")
+        window = self.generations if n is None else self.generations[-n:]
+        return tuple(
+            UrlGenerationState(
+                seq=generation.seq,
+                version=generation.version,
+                built_at=generation.built_at,
+                entry=generation.index.lookup(url),
+            )
+            for generation in window
+        )

@@ -68,6 +68,7 @@ from .slo import (
     burn_attribution,
     evaluate,
     events_from_audit,
+    events_from_reconfigs,
     events_from_responses,
     render_attribution,
 )
@@ -110,6 +111,7 @@ __all__ = [
     "diff_snapshots",
     "evaluate",
     "events_from_audit",
+    "events_from_reconfigs",
     "events_from_responses",
     "histogram_quantile",
     "kind_counts",

@@ -57,6 +57,7 @@ __all__ = [
     "evaluate",
     "events_from_audit",
     "events_from_generations",
+    "events_from_reconfigs",
     "events_from_responses",
     "render_attribution",
 ]
@@ -129,6 +130,35 @@ def events_from_generations(generations) -> tuple[SloEvent, ...]:
                     latency_ms=generation.lag_days * MS_PER_DAY,
                 )
                 for generation in generations
+            ),
+            key=lambda event: (event.at_ms, event.latency_ms),
+        )
+    )
+
+
+def events_from_reconfigs(reconfig_events) -> tuple[SloEvent, ...]:
+    """Grade reconfiguration lag through the latency SLO machinery.
+
+    Each applied :class:`~repro.service.reconfig.ReconfigEvent`
+    becomes one event completing at its cutover instant, whose
+    "latency" is the schedule-to-cutover lag — 0 for atomic applies,
+    the drain time (bounded by the batcher's ``max_wait_ms``) for
+    drained ones. An ``SloSpec(kind="latency",
+    threshold_ms=lag_budget_ms)`` then reads directly as "fraction of
+    reconfigurations that cut over within budget", the freshness
+    companion to :func:`events_from_generations`: one grades how
+    often new generations are *built*, this grades how quickly the
+    serving tier *adopts* them.
+    """
+    return tuple(
+        sorted(
+            (
+                SloEvent(
+                    at_ms=event.applied_ms,
+                    status=200,
+                    latency_ms=event.lag_ms,
+                )
+                for event in reconfig_events
             ),
             key=lambda event: (event.at_ms, event.latency_ms),
         )

@@ -41,6 +41,19 @@ from .cache import ResultCache
 from .cluster import ClusterConfig, ClusterResult, ClusterService, ShardIndex
 from .faults import ReplicaFaultEvent, ServiceFaultPlan, ServiceFaults
 from .index import LinkStatusEntry, LinkStatusIndex
+from .reconfig import (
+    DeltaApply,
+    GenerationDelta,
+    GenerationSwap,
+    RebalancePlan,
+    ReconfigError,
+    ReconfigEvent,
+    Reconfiguration,
+    apply_delta,
+    normalize_schedule,
+    plan_rebalance,
+    snapshot_wire_bytes,
+)
 from .router import (
     POLICIES,
     ReplicaPicker,
@@ -67,12 +80,19 @@ __all__ = [
     "ClusterConfig",
     "ClusterResult",
     "ClusterService",
+    "DeltaApply",
+    "GenerationDelta",
+    "GenerationSwap",
     "LinkStatusEntry",
     "LinkStatusIndex",
     "LinkStatusService",
     "MicroBatcher",
     "PATTERNS",
     "POLICIES",
+    "RebalancePlan",
+    "ReconfigError",
+    "ReconfigEvent",
+    "Reconfiguration",
     "ReplicaFaultEvent",
     "ReplicaPicker",
     "Request",
@@ -86,10 +106,14 @@ __all__ = [
     "TenantQuotas",
     "TokenBucket",
     "WorkloadConfig",
+    "apply_delta",
     "generate_workload",
     "key_latency_ms",
+    "normalize_schedule",
+    "plan_rebalance",
     "read_audit_jsonl",
     "rendezvous_owner",
     "rendezvous_score",
     "routing_key",
+    "snapshot_wire_bytes",
 ]

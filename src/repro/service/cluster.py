@@ -53,6 +53,17 @@ from .batcher import Batch, MicroBatcher
 from .cache import ResultCache
 from .faults import ServiceFaultPlan, ServiceFaults
 from .index import LinkStatusEntry, LinkStatusIndex
+from .reconfig import (
+    RECONFIG_LAG_BOUNDS_MS,
+    DeltaApply,
+    GenerationSwap,
+    RebalancePlan,
+    ReconfigError,
+    ReconfigEvent,
+    Reconfiguration,
+    apply_delta,
+    normalize_schedule,
+)
 from .router import POLICIES, ReplicaPicker, TenantQuotas, rendezvous_owner, routing_key
 from .server import (
     LATENCY_BOUNDS_MS,
@@ -366,10 +377,18 @@ class ClusterService:
 
         # -- replica fault schedule ------------------------------------------------
         replica_ids = tuple(r.replica_id for r in self._all_replicas)
+        self._replica_by_id = {
+            r.replica_id: r for r in self._all_replicas
+        }
         self.fault_events = (
             self._faults.transitions(replica_ids) if self._faults else ()
         )
-        self._pending_swaps: list[tuple[float, LinkStatusIndex]] = []
+        self._pending_reconfigs: list[Reconfiguration] = []
+        #: In-progress drained reconfiguration: which replicas still
+        #: serve the old binding, what each rebinds to, and the
+        #: accounting for the eventual ReconfigEvent.
+        self._drain_state: dict | None = None
+        self._reconfig_log: list[ReconfigEvent] = []
         self._versions_served: list[str] = [index.version]
 
     def _partition(self, index: LinkStatusIndex) -> dict[str, ShardIndex]:
@@ -378,8 +397,10 @@ class ClusterService:
         Shares the memoized domain→shard table across generations:
         rendezvous placement depends only on the domain and the shard
         id set, so a domain present in two generations lives on the
-        same shard in both — a swap re-snapshots shard *contents*, it
-        never migrates ownership.
+        same shard in both — a swap re-snapshots shard *contents*
+        without migrating ownership. Only a
+        :class:`~repro.service.reconfig.RebalancePlan` rewrites the
+        memo and moves keys between shards.
         """
         partitions: dict[str, list[LinkStatusEntry]] = {
             shard_id: [] for shard_id in self.shard_ids
@@ -433,22 +454,32 @@ class ClusterService:
         ``"serial"`` or ``"thread"`` (identical responses either way),
         responses come back in request-id order.
 
-        ``swaps`` — optional ``(at_ms, index)`` generation-swap
-        schedule, strictly increasing. At each swap instant every
-        replica force-flushes its open batch against its *old* shard
-        view (in-flight requests finish on the generation they were
-        admitted under), every cache is wiped, the new index is
-        re-partitioned into fresh shard views (domain ownership never
-        migrates), and only then does the fleet answer from the new
-        generation. No response ever mixes generations — the chaos
-        differential tests assert this under replica crash schedules.
+        ``swaps`` — optional reconfiguration schedule: legacy
+        ``(at_ms, index)`` tuples or
+        :class:`~repro.service.reconfig.Reconfiguration` instances
+        (``GenerationSwap``, ``DeltaApply``, ``RebalancePlan``),
+        validated up front by
+        :func:`~repro.service.reconfig.normalize_schedule`. Atomic
+        swaps force-flush every replica's open batch against its *old*
+        shard view (in-flight requests finish on the generation they
+        were admitted under), wipe every cache, and re-partition the
+        new index into fresh shard views before the fleet answers from
+        the new generation. Drained swaps move the front door at the
+        scheduled instant but let each replica finish its queued batch
+        under the old binding before rebinding — a per-replica rolling
+        cutover. Rebalances migrate routing keys between shards within
+        one generation via the same drain machinery. No response ever
+        mixes generations — the chaos differential tests assert this
+        under replica crash schedules.
         """
         if mode not in ("serial", "thread"):
             raise ValueError(f"unknown serve mode {mode!r}")
-        self._pending_swaps = sorted(swaps, key=lambda s: s[0]) if swaps else []
-        for earlier, later in zip(self._pending_swaps, self._pending_swaps[1:]):
-            if later[0] <= earlier[0]:
-                raise ValueError("swap schedule must be strictly increasing")
+        self._pending_reconfigs = normalize_schedule(
+            swaps, self.index,
+            allow_rebalance=True, shard_ids=self.shard_ids,
+        )
+        self._drain_state = None
+        self._reconfig_log = []
         self._versions_served = [self.index.version]
         pool = None
         if mode == "thread":
@@ -554,6 +585,7 @@ class ClusterService:
             policy=self.cluster.policy,
             fault_events=self.fault_events,
             replica_ids=tuple(r.replica_id for r in self._all_replicas),
+            reconfig_events=tuple(self._reconfig_log),
         )
 
     def _fold_replica_metrics(self) -> None:
@@ -585,8 +617,8 @@ class ClusterService:
                 candidate = (deadline, _P_DEADLINE, position)
                 if best is None or candidate < best:
                     best = candidate
-        if self._pending_swaps:
-            candidate = (self._pending_swaps[0][0], _P_SWAP, 0)
+        if self._pending_reconfigs:
+            candidate = (self._pending_reconfigs[0].at_ms, _P_SWAP, 0)
             if best is None or candidate < best:
                 best = candidate
         if self._redispatch:
@@ -620,8 +652,8 @@ class ClusterService:
                 if batch is not None:
                     self._execute(replica, batch, responses, pool)
             elif priority == _P_SWAP:
-                _, new_index = self._pending_swaps.pop(0)
-                self._apply_swap(at_ms, new_index, responses, pool)
+                op = self._pending_reconfigs.pop(0)
+                self._begin_reconfig(op, responses, pool)
             elif priority == _P_REDISPATCH:
                 at, _, attempt, request = heapq.heappop(self._redispatch)
                 self._dispatch(
@@ -650,37 +682,241 @@ class ClusterService:
         cause = f"{event.replica_id}:{event.kind}"
         for item in replica.batcher.drain():
             self._requeue(item.request, event.at_ms, causes=(cause,))
+        if self._drain_state is not None:
+            # The batch this replica was draining a reconfiguration
+            # behind just went back to the router — nothing holds the
+            # old binding any more, so the cutover lands here.
+            self._finish_replica_drain(replica, event.at_ms)
 
-    def _apply_swap(
-        self,
-        now_ms: float,
-        new_index: LinkStatusIndex,
-        responses: list[Response],
-        pool,
+    def _begin_reconfig(
+        self, op: Reconfiguration, responses: list[Response], pool
     ) -> None:
-        """Atomically install ``new_index`` fleet-wide at ``now_ms``.
+        """Apply one scheduled reconfiguration at ``op.at_ms``.
 
-        The cluster analogue of the single-node swap, executed as one
-        event between batch deadlines and re-dispatches: every live
-        replica's open batch force-flushes against its old shard view
-        (groups lost to an in-flight failure re-dispatch as usual and
-        will be answered by the new generation — they never produced
-        old-generation bytes), every replica's cache is wiped, and the
-        new index is re-partitioned into fresh shard views bound to
-        the same replicas. Domain→shard ownership is memoized across
-        generations, so the swap never migrates a domain.
+        A reconfiguration that lands while an earlier drain is still
+        in flight preempts it: every still-draining replica
+        force-flushes under its old binding and rebinds first, so at
+        most one drain is ever outstanding and bindings apply in
+        schedule order.
         """
+        if self._drain_state is not None:
+            self._force_finish_drain(op.at_ms, responses, pool)
+        if isinstance(op, RebalancePlan):
+            self._apply_rebalance(op, responses, pool)
+            return
+        old_version = self.index.version
+        new_index = (
+            op.index
+            if isinstance(op, GenerationSwap)
+            else apply_delta(self.index, op.delta)
+        )
+        if not op.drain:
+            # Atomic fleet-wide cutover (the pre-existing swap
+            # semantics): every live replica's open batch
+            # force-flushes against its old shard view — groups lost
+            # to an in-flight failure re-dispatch as usual and will
+            # be answered by the new generation; they never produced
+            # old-generation bytes — every cache is wiped, and the
+            # new index is re-partitioned into fresh shard views
+            # bound to the same replicas.
+            for replica in self._all_replicas:
+                batch = replica.batcher.flush_now(op.at_ms)
+                if batch is not None:
+                    self._execute(replica, batch, responses, pool)
+            self._install_generation(new_index)
+            for replica in self._all_replicas:
+                replica.index = self.shards[replica.shard_id]
+                replica.wipe_cache()
+            self._record_reconfig(op, old_version, new_index.version,
+                                  op.at_ms, drained=0)
+            return
+        # Rolling drained cutover: the front door (routing, shed
+        # labels, new dispatches' target generation) moves now, but a
+        # replica with an open batch finishes it under the old
+        # binding at the batch's own flush instant — bounded by the
+        # batcher's max_wait_ms — and only then rebinds. Replicas cut
+        # over one by one; every response derives from (and is
+        # labeled with) its replica's actual binding, so none mixes
+        # generations.
+        self._install_generation(new_index)
+        binds: dict[str, tuple[ShardIndex, bool]] = {}
+        pending: set[str] = set()
         for replica in self._all_replicas:
-            batch = replica.batcher.flush_now(now_ms)
-            if batch is not None:
-                self._execute(replica, batch, responses, pool)
+            view = self.shards[replica.shard_id]
+            if replica.batcher.deadline_ms is not None:
+                binds[replica.replica_id] = (view, True)
+                pending.add(replica.replica_id)
+            else:
+                replica.index = view
+                replica.wipe_cache()
+        if not pending:
+            self._record_reconfig(op, old_version, new_index.version,
+                                  op.at_ms, drained=0)
+            return
+        self._drain_state = {
+            "op": op,
+            "binds": binds,
+            "pending": pending,
+            "last_ms": op.at_ms,
+            "drained": 0,
+            "from": old_version,
+            "to": new_index.version,
+            "moved": 0,
+        }
+
+    def _install_generation(self, new_index: LinkStatusIndex) -> None:
+        """Move the front door to ``new_index`` (no replica rebinds)."""
         self.index = new_index
         self.shards = self._partition(new_index)
-        for replica in self._all_replicas:
-            replica.index = self.shards[replica.shard_id]
-            replica.wipe_cache()
         self._versions_served.append(new_index.version)
         self.metrics.counter("service.swaps").inc()
+
+    def _apply_rebalance(
+        self, op: RebalancePlan, responses: list[Response], pool
+    ) -> None:
+        """Migrate ``op.moves`` routing keys between shards, live.
+
+        The generation does not change — only ownership does — which
+        is what makes a correct rolling cutover possible at all:
+
+        - routing flips at ``op.at_ms``, so new requests for a moved
+          key dispatch to its *gaining* shard;
+        - a shard that only **gains** keys rebinds instantly, open
+          batch and all: its new view is a superset of the old one
+          under the same generation, so every queued answer is
+          unchanged and moved-key requests find their entries;
+        - a shard that **loses** keys must keep its old view until
+          its open batch closes (the batch may hold moved-key
+          requests that still need the departing entries), so it
+          rebinds through the drain machinery — or force-flushes,
+          when ``op.drain`` is off or when the shard *also* gains
+          keys (its stale view would 404 freshly routed arrivals);
+        - caches are never wiped: a cached body is a pure function of
+          (generation, key), and the generation is unchanged.
+        """
+        version = self.index.version
+        losers: set[str] = set()
+        gainers: set[str] = set()
+        for key, target in op.moves:
+            source = self._shard_of.get(key)
+            if source is None:
+                source = rendezvous_owner(key, self.shard_ids)
+            if source != target:
+                losers.add(source)
+                gainers.add(target)
+            self._shard_of[key] = target
+        self.shards = self._partition(self.index)
+        drainable = losers - gainers
+        binds: dict[str, tuple[ShardIndex, bool]] = {}
+        pending: set[str] = set()
+        for replica in self._all_replicas:
+            view = self.shards[replica.shard_id]
+            in_losers = replica.shard_id in losers
+            must_flush = in_losers and (
+                not op.drain or replica.shard_id not in drainable
+            )
+            if must_flush:
+                batch = replica.batcher.flush_now(op.at_ms)
+                if batch is not None:
+                    self._execute(replica, batch, responses, pool)
+                replica.index = view
+            elif (
+                in_losers
+                and replica.batcher.deadline_ms is not None
+            ):
+                binds[replica.replica_id] = (view, False)
+                pending.add(replica.replica_id)
+            else:
+                replica.index = view
+        moved = len(op.moves)
+        self.metrics.counter(
+            "service.cluster.rebalanced_keys"
+        ).inc(moved)
+        if not pending:
+            self._record_reconfig(op, version, version, op.at_ms,
+                                  drained=0, moved_keys=moved)
+            return
+        self._drain_state = {
+            "op": op,
+            "binds": binds,
+            "pending": pending,
+            "last_ms": op.at_ms,
+            "drained": 0,
+            "from": version,
+            "to": version,
+            "moved": moved,
+        }
+
+    def _finish_replica_drain(
+        self, replica: "_Replica", at_ms: float
+    ) -> None:
+        """Cut one draining replica over to its pending binding.
+
+        Called when the replica's queued batch closes (flush or
+        fault-drain). When the last pending replica rebinds, the
+        drain resolves and its :class:`ReconfigEvent` is recorded
+        with ``applied_ms`` = that final cutover instant.
+        """
+        state = self._drain_state
+        if state is None or replica.replica_id not in state["pending"]:
+            return
+        state["pending"].discard(replica.replica_id)
+        view, wipe = state["binds"][replica.replica_id]
+        replica.index = view
+        if wipe:
+            replica.wipe_cache()
+        state["last_ms"] = max(state["last_ms"], at_ms)
+        state["drained"] += 1
+        if not state["pending"]:
+            self._drain_state = None
+            self._record_reconfig(
+                state["op"], state["from"], state["to"],
+                state["last_ms"], state["drained"], state["moved"],
+            )
+
+    def _force_finish_drain(
+        self, at_ms: float, responses: list[Response], pool
+    ) -> None:
+        """Preempt an unfinished drain: flush every still-pending
+        replica under its old binding and rebind it at ``at_ms``."""
+        state = self._drain_state
+        if state is None:
+            return
+        for replica_id in sorted(state["pending"]):
+            replica = self._replica_by_id[replica_id]
+            batch = replica.batcher.flush_now(at_ms)
+            if batch is not None:
+                self._execute(replica, batch, responses, pool)
+            if (
+                self._drain_state is state
+                and replica_id in state["pending"]
+            ):
+                self._finish_replica_drain(replica, at_ms)
+
+    def _record_reconfig(
+        self,
+        op: Reconfiguration,
+        from_version: str,
+        to_version: str,
+        applied_ms: float,
+        drained: int,
+        moved_keys: int = 0,
+    ) -> None:
+        event = ReconfigEvent(
+            kind=op.kind,
+            scheduled_ms=op.at_ms,
+            applied_ms=applied_ms,
+            from_version=from_version,
+            to_version=to_version,
+            drained_batches=drained,
+            moved_keys=moved_keys,
+        )
+        self._reconfig_log.append(event)
+        self.metrics.counter("service.reconfig.applied").inc()
+        self.metrics.counter(f"service.reconfig.{op.kind}").inc()
+        self.metrics.histogram(
+            "service.reconfig.lag_ms", RECONFIG_LAG_BOUNDS_MS
+        ).observe(event.lag_ms)
 
     def _requeue(
         self,
@@ -890,13 +1126,15 @@ class ClusterService:
                 # One compact entry per coalesced group; spans,
                 # exemplars, and audit records expand from it in
                 # _materialize_observations, off the serving path.
-                # The generation serving the group rides along — after
-                # a swap, `self.index.version` no longer tells you
-                # what this batch answered from.
+                # The generation serving the group rides along — the
+                # replica's *own* binding, not the front door's:
+                # during a rolling drain the fleet index has already
+                # moved while this batch still answers from the old
+                # generation.
                 self._obs_log.append((
                     replica, key, items, status, completion_ms,
                     key in fresh, latency[key], spike.get(key, 0.0),
-                    self.index.version,
+                    replica.index.version,
                 ))
             for position, item in enumerate(items):
                 request = item.request
@@ -921,9 +1159,14 @@ class ClusterService:
                         start_ms=item.ready_ms,
                         completion_ms=completion_ms,
                         source=source,
-                        index_version=self.index.version,
+                        index_version=replica.index.version,
                     )
                 )
+        if self._drain_state is not None:
+            # The queued batch has finished under the old binding;
+            # this replica's drained cutover lands at its flush
+            # instant (a membership no-op for replicas not draining).
+            self._finish_replica_drain(replica, flush_ms)
 
     def _materialize_observations(
         self,

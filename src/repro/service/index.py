@@ -128,6 +128,7 @@ class LinkStatusIndex:
     def __init__(self, entries: tuple[LinkStatusEntry, ...],
                  gap_days: tuple[float, ...] = ()) -> None:
         self._entries = entries
+        self._gap_days = tuple(gap_days)
         by_url: dict[str, LinkStatusEntry] = {}
         by_domain: dict[str, tuple[LinkStatusEntry, ...]] = {}
         by_bucket: dict[str, tuple[LinkStatusEntry, ...]] = {}
@@ -240,6 +241,17 @@ class LinkStatusIndex:
     def entries(self) -> tuple[LinkStatusEntry, ...]:
         """Every entry, in record order."""
         return self._entries
+
+    @property
+    def gap_days(self) -> tuple[float, ...]:
+        """The §5.3 marking→removal gaps this snapshot aggregates.
+
+        Part of the version hash (via the ``gap_days`` ECDF inputs),
+        so anything that rebuilds a byte-identical index — a
+        :class:`~repro.service.reconfig.GenerationDelta` — must carry
+        it.
+        """
+        return self._gap_days
 
     def __len__(self) -> int:
         return len(self._entries)

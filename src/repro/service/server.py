@@ -43,6 +43,16 @@ from .batcher import Batch, MicroBatcher
 from .cache import ResultCache
 from .faults import ServiceFaultPlan, ServiceFaults
 from .index import LinkStatusIndex
+from .reconfig import (
+    RECONFIG_LAG_BOUNDS_MS,
+    DeltaApply,
+    GenerationSwap,
+    ReconfigError,
+    ReconfigEvent,
+    Reconfiguration,
+    apply_delta,
+    normalize_schedule,
+)
 from .workload import Request
 
 __all__ = [
@@ -155,6 +165,10 @@ class ServiceResult:
     #: carry the one version; ``index_version`` stays the *final*
     #: generation — the one a client connecting now would see.
     index_versions: tuple[str, ...] = ()
+    #: Every applied reconfiguration (swap/delta/rebalance), in apply
+    #: order, with scheduled vs applied instants — the drain lag the
+    #: SLO layer grades via ``events_from_reconfigs``.
+    reconfig_events: tuple[ReconfigEvent, ...] = ()
 
     @property
     def offered(self) -> int:
@@ -339,7 +353,11 @@ class LinkStatusService:
             max_wait_ms=config.max_wait_ms,
             metrics=self.metrics,
         )
-        self._pending_swaps: list[tuple[float, LinkStatusIndex]] = []
+        self._pending_reconfigs: list[Reconfiguration] = []
+        #: An in-progress drained reconfiguration: ``(op, new_index)``
+        #: waiting for the open batch to close under the old binding.
+        self._draining: tuple[Reconfiguration, LinkStatusIndex] | None = None
+        self._reconfig_log: list[ReconfigEvent] = []
         self._versions_served: list[str] = [index.version]
 
     # -- deterministic latency model ---------------------------------------------
@@ -365,23 +383,31 @@ class LinkStatusService:
         identical responses for the same inputs (asserted by the test
         suite). Responses come back in request-id order.
 
-        ``swaps`` is an optional schedule of zero-downtime generation
-        swaps: ``(at_ms, index)`` pairs, strictly increasing in time.
-        Each swap is an event on the virtual clock, ordered *after*
-        batch deadlines due at the same instant and *before* queue
-        releases: batches already due flush under the old generation,
-        any still-open batch is force-flushed at the swap instant
+        ``swaps`` is an optional reconfiguration schedule: legacy
+        ``(at_ms, index)`` pairs (atomic generation swaps) and/or
+        :class:`~repro.service.reconfig.Reconfiguration` instances
+        (:class:`~repro.service.reconfig.GenerationSwap`,
+        :class:`~repro.service.reconfig.DeltaApply`), validated up
+        front by :func:`~repro.service.reconfig.normalize_schedule`
+        (duplicate instants, empty indexes, non-monotonic versions,
+        and broken delta chains raise a typed
+        :class:`~repro.service.reconfig.ReconfigError` before the
+        replay starts). Each reconfiguration is an event on the
+        virtual clock, ordered *after* batch deadlines due at the
+        same instant and *before* queue releases. Atomic applies
+        force-flush the open batch at the reconfiguration instant
         (in-flight requests complete against the index they were
-        admitted under), the result cache is wiped (its bodies belong
-        to the old generation), and only then is the new index
-        installed — so no response ever mixes generations.
+        admitted under); drained applies (``drain=True``) let the
+        open batch run to its own flush under the old binding and
+        rebind at that instant. Either way the result cache is wiped
+        on a generation change and no response ever mixes
+        generations.
         """
         if mode not in ("serial", "thread"):
             raise ValueError(f"unknown serve mode {mode!r}")
-        self._pending_swaps = sorted(swaps, key=lambda s: s[0]) if swaps else []
-        for earlier, later in zip(self._pending_swaps, self._pending_swaps[1:]):
-            if later[0] <= earlier[0]:
-                raise ValueError("swap schedule must be strictly increasing")
+        self._pending_reconfigs = normalize_schedule(swaps, self.index)
+        self._draining = None
+        self._reconfig_log = []
         self._versions_served = versions = [self.index.version]
         pool = (
             ThreadPoolExecutor(
@@ -429,6 +455,7 @@ class LinkStatusService:
             index_version=self.index.version,
             mode=mode,
             index_versions=tuple(versions),
+            reconfig_events=tuple(self._reconfig_log),
         )
 
     def _advance(
@@ -441,7 +468,9 @@ class LinkStatusService:
             release_ms = self.admission.next_release_ms()
             deadline_ms = self.batcher.deadline_ms
             swap_ms = (
-                self._pending_swaps[0][0] if self._pending_swaps else None
+                self._pending_reconfigs[0].at_ms
+                if self._pending_reconfigs
+                else None
             )
             candidates = [
                 t for t in (release_ms, deadline_ms, swap_ms) if t is not None
@@ -453,42 +482,85 @@ class LinkStatusService:
                 return
             # Deadline flush wins ties: the batch closed before (or
             # exactly as) the token accrued, so the released request
-            # belongs to the next batch. A swap ranks after deadlines
-            # (due batches still belong to the old generation) and
-            # before releases (requests released at the swap instant
-            # are served by the new one).
+            # belongs to the next batch. A reconfiguration ranks after
+            # deadlines (due batches still belong to the old
+            # generation) and before releases (requests released at
+            # the swap instant are served by the new one).
             if deadline_ms is not None and deadline_ms <= next_ms:
                 batch = self.batcher.flush_due(deadline_ms)
                 if batch is not None:
                     self._execute(batch, responses, pool)
                 continue
             if swap_ms is not None and swap_ms <= next_ms:
-                _, new_index = self._pending_swaps.pop(0)
-                self._apply_swap(swap_ms, new_index, responses, pool)
+                op = self._pending_reconfigs.pop(0)
+                self._begin_reconfig(op, responses, pool)
                 continue
             request, ready_ms = self.admission.release_one()
             self._enqueue(request, ready_ms, responses, pool)
 
-    def _apply_swap(
-        self,
-        now_ms: float,
-        new_index: LinkStatusIndex,
-        responses: list[Response],
-        pool,
-    ) -> None:
-        """Atomically install ``new_index`` at ``now_ms``.
+    # -- the reconfiguration plane -------------------------------------------------
 
-        Copy-on-write semantics on the virtual clock: the open batch
-        (if any) is force-flushed and completes against the old index,
-        the result cache is replaced wholesale (old-generation bodies
-        must not outlive their index), and only then does the service
-        start answering from the new generation. Shared metrics
-        registry survives — the swap is invisible to counters except
-        for ``service.swaps``.
+    def _begin_reconfig(
+        self, op: Reconfiguration, responses: list[Response], pool
+    ) -> None:
+        """One due reconfiguration: resolve the new binding, then
+        apply it atomically or hand it to the drain machinery.
+
+        Atomic (``drain=False``): the open batch (if any) is
+        force-flushed and completes against the old index, then the
+        new binding installs at the scheduled instant — the classic
+        copy-on-write swap. Drained (``drain=True``): the open batch
+        keeps its own deadline and finishes under the old binding;
+        the rebind happens at that batch's flush instant (see the
+        tail of :meth:`_execute`), bounded by ``max_wait_ms``. With
+        no open batch a drained apply degenerates to an atomic one.
         """
-        batch = self.batcher.flush_now(now_ms)
+        if self._draining is not None:
+            # A later reconfiguration preempts an unfinished drain:
+            # the draining batch force-flushes under its old binding
+            # now, completing the previous cutover first.
+            batch = self.batcher.flush_now(op.at_ms)
+            if batch is not None:
+                self._execute(batch, responses, pool)
+            if self._draining is not None:
+                self._complete_drain(op.at_ms)
+        new_index = self._resolve(op)
+        if op.drain and self.batcher.deadline_ms is not None:
+            self._draining = (op, new_index)
+            return
+        batch = self.batcher.flush_now(op.at_ms)
         if batch is not None:
             self._execute(batch, responses, pool)
+        self._install(op, new_index, op.at_ms, drained=0)
+
+    def _resolve(self, op: Reconfiguration) -> LinkStatusIndex:
+        """The index the reconfiguration binds (copy-on-write)."""
+        if isinstance(op, GenerationSwap):
+            return op.index
+        if isinstance(op, DeltaApply):
+            # Verified application: the result is byte-identical to
+            # the full snapshot or this raises (never serves a
+            # divergent index).
+            return apply_delta(self.index, op.delta)
+        raise ReconfigError(
+            f"single-node service cannot apply {op.kind!r}"
+        )
+
+    def _complete_drain(self, applied_ms: float) -> None:
+        op, new_index = self._draining
+        self._draining = None
+        self._install(op, new_index, applied_ms, drained=1)
+
+    def _install(
+        self,
+        op: Reconfiguration,
+        new_index: LinkStatusIndex,
+        applied_ms: float,
+        drained: int,
+    ) -> None:
+        """Cut over to ``new_index``: wipe the cache (old-generation
+        bodies must not outlive their index), rebind, record."""
+        old_version = self.index.version
         self.cache = ResultCache(
             capacity=self.config.cache_capacity,
             ttl_ms=self.config.cache_ttl_ms,
@@ -497,6 +569,34 @@ class LinkStatusService:
         self.index = new_index
         self._versions_served.append(new_index.version)
         self.metrics.counter("service.swaps").inc()
+        self._record_reconfig(
+            op, old_version, new_index.version, applied_ms, drained
+        )
+
+    def _record_reconfig(
+        self,
+        op: Reconfiguration,
+        from_version: str,
+        to_version: str,
+        applied_ms: float,
+        drained: int,
+        moved_keys: int = 0,
+    ) -> None:
+        event = ReconfigEvent(
+            kind=op.kind,
+            scheduled_ms=op.at_ms,
+            applied_ms=applied_ms,
+            from_version=from_version,
+            to_version=to_version,
+            drained_batches=drained,
+            moved_keys=moved_keys,
+        )
+        self._reconfig_log.append(event)
+        self.metrics.counter("service.reconfig.applied").inc()
+        self.metrics.counter(f"service.reconfig.{op.kind}").inc()
+        self.metrics.histogram(
+            "service.reconfig.lag_ms", RECONFIG_LAG_BOUNDS_MS
+        ).observe(event.lag_ms)
 
     def _enqueue(
         self,
@@ -646,6 +746,10 @@ class LinkStatusService:
                     )
                 )
             del carrier  # clarity: the carrier is items[0].request
+        if self._draining is not None:
+            # The queued batch has finished under the old binding; the
+            # drained reconfiguration cuts over at its flush instant.
+            self._complete_drain(flush_ms)
 
     def _trace_group(
         self,

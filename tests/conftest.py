@@ -57,6 +57,7 @@ COVERAGE_CONCERNS = (
     "repro.faults",
     "repro.obs",
     "repro.service",
+    "repro.service.reconfig",
 )
 
 

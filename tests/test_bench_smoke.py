@@ -51,6 +51,7 @@ DIGESTS = {
     "BENCH_stack.json": ("overhead_frac", "stacked_seconds"),
     "BENCH_service.json": ("single_node", "cluster"),
     "BENCH_live.json": ("delta_rebuild", "swap"),
+    "BENCH_reconfig.json": ("delta_wire", "swap_discipline", "rebalance"),
 }
 
 
@@ -105,6 +106,13 @@ def test_every_benchmark_runs_at_toy_scale(tmp_path):
     assert live["delta_rebuild"]["batches"]
     for digest in live["delta_rebuild"]["batches"]:
         assert digest["dirty"] >= digest["events"]
+
+    # Deltas beat snapshots at every event-batch size, even toy scale.
+    reconfig = json.loads((tmp_path / "BENCH_reconfig.json").read_text())
+    assert reconfig["delta_wire"]["batches"]
+    for digest in reconfig["delta_wire"]["batches"]:
+        assert digest["delta_bytes"] < digest["snapshot_bytes"]
+    assert reconfig["swap_discipline"]["rolling"]["drained_batches"] > 0
 
     # The service-tier obs arm ran at toy scale and recorded its keys.
     obs = json.loads((tmp_path / "BENCH_obs.json").read_text())
